@@ -1,0 +1,23 @@
+"""Figure 1(d): lockstep vs RMT vs parallel error detection.
+
+Paper claim: lockstep has large area+energy overheads, RMT has a large
+performance overhead, and the heterogeneous scheme keeps all three small.
+"""
+
+from repro.harness.figures import fig1_comparison
+
+
+def test_fig01_comparison(benchmark, emit, runner, strict):
+    text, data = benchmark.pedantic(fig1_comparison, args=(runner,), rounds=1, iterations=1)
+    emit("fig01_comparison", text)
+    # lockstep: negligible slowdown, 100% area/energy
+    assert data["lockstep"]["slowdown"] < 1.01
+    assert data["lockstep"]["area"] == 1.0
+    # RMT: significant slowdown, small area
+    if strict:
+        assert data["rmt"]["slowdown"] > 1.10
+    assert data["rmt"]["area"] < 0.10
+    # ours: all three small
+    assert data["ours"]["slowdown"] < 1.10
+    assert data["ours"]["area"] < 0.30
+    assert data["ours"]["energy"] < 0.30

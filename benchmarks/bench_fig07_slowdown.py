@@ -1,0 +1,19 @@
+"""Figure 7: normalised slowdown per benchmark at Table I defaults.
+
+Paper claim: average slowdown 1.75 %, no benchmark above 3.4 %.
+Reproduction target: slowdowns near 1.0 across the suite (the shape —
+which benchmarks are affected at all — matters more than the absolute
+percentage, which depends on the substrate's IPC calibration).
+"""
+
+from repro.harness.figures import fig7
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_fig07_slowdown(benchmark, emit, runner):
+    text, data = benchmark.pedantic(fig7, args=(runner,), rounds=1, iterations=1)
+    emit("fig07_slowdown", text)
+    assert set(data) == set(BENCHMARK_ORDER)
+    for name, slowdown in data.items():
+        assert slowdown >= 0.999, f"{name} sped up?"
+        assert slowdown < 1.15, f"{name} slowdown {slowdown} out of band"

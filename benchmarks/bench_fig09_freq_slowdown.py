@@ -1,0 +1,27 @@
+"""Figure 9: slowdown when varying checker-core frequency.
+
+Paper claims: memory-bound benchmarks (randacc, stream) barely degrade
+even at 125 MHz because the checkers have no data misses; compute-bound
+benchmarks (swaptions, bitcount) slow down sharply below 500 MHz, up to
+~4.5× at 125 MHz.
+"""
+
+from repro.harness.figures import FREQUENCIES_MHZ, fig9
+
+
+def test_fig09_freq_slowdown(benchmark, emit, runner, strict):
+    text, data = benchmark.pedantic(fig9, args=(runner,), rounds=1, iterations=1)
+    emit("fig09_freq_slowdown", text)
+    idx125 = FREQUENCIES_MHZ.index(125)
+    idx1g = FREQUENCIES_MHZ.index(1000)
+    # memory-bound: flat across frequency
+    assert data["randacc"][idx125] < 1.10
+    if strict:
+        # compute-bound: large slowdown at 125 MHz, fine at 1 GHz
+        for name in ("bitcount", "swaptions", "facesim"):
+            assert data[name][idx125] > 1.5, f"{name} should choke at 125MHz"
+            assert data[name][idx1g] < 1.10, f"{name} should keep up at 1GHz"
+    # monotone: lower frequency never helps
+    for name, series in data.items():
+        for lo, hi in zip(series, series[1:]):
+            assert lo >= hi - 1e-9, f"{name} slowdown not monotone in freq"

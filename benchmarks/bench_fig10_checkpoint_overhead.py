@@ -1,0 +1,27 @@
+"""Figure 10: slowdown from checkpointing alone, across log sizes and
+instruction timeouts (ideal — infinitely fast — checkers).
+
+Paper claims: the default 36 KiB log keeps checkpoint-only slowdown under
+~2 %; a 10× larger log makes it negligible; a 10× smaller log costs up to
+15 %; randacc is least affected (low IPC → infrequent checkpoints).
+"""
+
+from repro.harness.figures import LOG_SWEEP, fig10
+
+
+def test_fig10_checkpoint_overhead(benchmark, emit, runner):
+    text, data = benchmark.pedantic(fig10, args=(runner,), rounds=1,
+                                    iterations=1)
+    emit("fig10_checkpoint_overhead", text)
+    labels = [label for label, _b, _t in LOG_SWEEP]
+    small = labels.index("3.6KiB/500")
+    default = labels.index("36KiB/5000")
+    large = labels.index("360KiB/50000")
+    for name, series in data.items():
+        # more checkpointing never makes things faster
+        assert series[small] >= series[default] - 1e-9, name
+        assert series[default] >= series[large] - 1e-9, name
+        # default log keeps checkpoint cost small
+        assert series[default] < 1.06, f"{name}: {series[default]}"
+    # the small log hurts at least one benchmark measurably
+    assert max(series[small] for series in data.values()) > 1.01

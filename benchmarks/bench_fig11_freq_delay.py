@@ -1,0 +1,30 @@
+"""Figure 11: mean (a) and max (b) detection delay vs checker frequency.
+
+Paper claims: mean delay scales ≈ inverse-linearly with checker frequency
+(doubling the clock halves the delay) until the segment-fill time floors
+it; max delays follow the trend less deterministically.
+"""
+
+from repro.harness.figures import FREQUENCIES_MHZ, fig11
+
+
+def test_fig11_freq_delay(benchmark, emit, runner, strict):
+    text, data = benchmark.pedantic(fig11, args=(runner,), rounds=1,
+                                    iterations=1)
+    emit("fig11_freq_delay", text)
+    mean = data["mean"]
+    idx125 = FREQUENCIES_MHZ.index(125)
+    idx500 = FREQUENCIES_MHZ.index(500)
+    idx2g = FREQUENCIES_MHZ.index(2000)
+    for name, series in mean.items():
+        if not strict and series[idx125] == 0.0:
+            continue  # no delay samples at smoke scale
+        # delay falls with frequency
+        assert series[idx125] > series[idx500] > series[idx2g], name
+        # near-linear region: 125 -> 500 MHz is a 4x clock; expect the
+        # delay ratio to be well above 2x for every benchmark
+        assert series[idx125] / series[idx500] > 2.0, name
+    # max >= mean everywhere
+    for name in mean:
+        for m, mx in zip(mean[name], data["max"][name]):
+            assert mx >= m, name

@@ -1,0 +1,32 @@
+"""Figure 12: mean (a) and max (b) detection delay vs log size / timeout.
+
+Paper claims: mean detection delay scales ≈ linearly with log size (10×
+log → 10× delay); removing the timeout blows up the *max* delay for
+benchmarks with long load/store-free stretches (bitcount: ~250×), while a
+50 k timeout tames it at no performance cost.
+"""
+
+from repro.harness.figures import LOG_SWEEP_FIG12, fig12
+
+
+def test_fig12_logsize_delay(benchmark, emit, runner, strict):
+    text, data = benchmark.pedantic(fig12, args=(runner,), rounds=1,
+                                    iterations=1)
+    emit("fig12_logsize_delay", text)
+    labels = [label for label, _b, _t in LOG_SWEEP_FIG12]
+    small = labels.index("3.6KiB/500")
+    default = labels.index("36KiB/5000")
+    large = labels.index("360KiB/50000")
+    no_timeout = labels.index("36KiB/inf")
+
+    mean = data["mean"]
+    if strict:
+        for name, series in mean.items():
+            # mean delay grows with log size
+            assert series[small] < series[default] < series[large], name
+
+        # the timeout bounds bitcount's max delay: removing it (36KiB/inf)
+        # must inflate the max substantially vs the default
+        max_delay = data["max"]
+        assert max_delay["bitcount"][no_timeout] > \
+            2.0 * max_delay["bitcount"][default]

@@ -1,0 +1,16 @@
+"""Section VI-B: area-overhead model.
+
+Paper claims: twelve Rocket-class checkers ≈ 0.42 mm² at 20 nm, added SRAM
+≈ 80 KiB ≈ 0.08 mm², for ≈ 24 % overhead vs the bare A57-class core and
+≈ 16 % including the 1 MiB L2 — versus 100 % for dual-core lockstep.
+"""
+
+from repro.harness.figures import sec6b_area
+
+
+def test_sec6b_area(benchmark, emit):
+    text, data = benchmark(sec6b_area)
+    emit("sec6b_area", text)
+    assert 0.20 < data["overhead_vs_core"] < 0.30
+    assert 0.12 < data["overhead_vs_core_with_l2"] < 0.20
+    assert 70 < data["added_sram_kib"] < 95

@@ -1,0 +1,15 @@
+"""Section VI-C: power-overhead model.
+
+Paper claims: twelve 34 µW/MHz checkers at 1 GHz against an 800 µW/MHz
+main core at 3.2 GHz ≈ 16 % power overhead (an upper bound, as the
+checker figure is unscaled 40 nm silicon).
+"""
+
+from repro.harness.figures import sec6c_power
+
+
+def test_sec6c_power(benchmark, emit):
+    text, data = benchmark(sec6c_power)
+    emit("sec6c_power", text)
+    assert 0.10 < data["overhead"] < 0.22
+    assert data["main_core_mw"] > data["checker_cores_mw"]

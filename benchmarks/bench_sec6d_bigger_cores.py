@@ -1,0 +1,40 @@
+"""Section VI-D: the scheme extends favourably to bigger main cores.
+
+Paper claim: as the main core grows, single-thread performance rises
+sublinearly while the checker array's throughput (and area) scales
+linearly — so the *relative* area overhead of detection shrinks (or at
+least does not grow) with core size.
+"""
+
+from repro.analysis.report import format_table
+from repro.harness.bigger_cores import CORE_TIERS, size_tier
+from repro.harness.experiment import bench_scale
+from repro.workloads.suite import benchmark_trace
+
+
+def run_experiment():
+    trace = benchmark_trace("bodytrack", bench_scale())
+    return [size_tier(trace, tier) for tier in CORE_TIERS]
+
+
+def test_sec6d_bigger_cores(benchmark, emit, strict):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [r.name, str(r.width), str(r.checkers_needed),
+         f"{r.slowdown:.3f}", f"{r.main_core_mm2:.2f} mm2",
+         f"{r.checker_mm2:.2f} mm2", f"{100 * r.area_overhead:.1f}%"]
+        for r in results
+    ]
+    text = format_table(
+        "Section VI-D: detection overhead vs main-core aggressiveness",
+        ["tier", "width", "checkers", "slowdown", "core area",
+         "checker area", "overhead"], rows)
+    emit("sec6d_bigger_cores", text)
+
+    baseline, big, huge = results
+    # relative area overhead must not grow with core size
+    assert huge.area_overhead <= baseline.area_overhead + 1e-9
+    assert big.area_overhead <= baseline.area_overhead + 1e-9
+    if strict:
+        # every tier meets its slowdown budget with <= 24 checkers
+        assert all(r.slowdown < 1.10 for r in results)

@@ -1,0 +1,11 @@
+"""Table I: the experimental setup (configuration rendering)."""
+
+from repro.harness.figures import table1
+
+
+def test_table1_config(benchmark, emit):
+    text, rows = benchmark(table1)
+    emit("table1_config", text)
+    assert any("3-wide" in v for _k, v in rows)
+    assert any("12x in-order" in v.lower() or "12x" in v.lower()
+               for _k, v in rows)

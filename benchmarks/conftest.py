@@ -1,0 +1,46 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+it (run pytest with ``-s`` to see the tables inline; they are also written
+to ``benchmarks/output/``).  A process-wide runner caches traces and
+timing runs, so e.g. Figure 11 reuses Figure 9's sweep.
+
+Set ``REPRO_BENCH_SCALE=small`` for a quick smoke pass with shrunken
+workloads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiment import default_runner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared experiment runner (trace/baseline/run caches)."""
+    return default_runner()
+
+
+@pytest.fixture(scope="session")
+def strict():
+    """Paper-shape assertions only hold at full workload sizes; the
+    REPRO_BENCH_SCALE=small smoke mode checks plumbing, not shapes."""
+    from repro.harness.experiment import bench_scale
+    return bench_scale() != "small"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist and print a regenerated table/figure."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

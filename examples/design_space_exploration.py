@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick the cheapest checker configuration.
+
+A system architect integrating the paper's scheme must choose the number
+of checker cores, their clock frequency, and the log size.  This example
+sweeps the space for a target workload mix, filters configurations by a
+performance budget (max slowdown) and a detection-latency budget, then
+ranks the survivors by the silicon they cost (area model of §VI-B +
+power model of §VI-C).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.area import area_model
+from repro.analysis.power import power_model
+from repro.common.config import default_config
+from repro.detection.system import run_unprotected, run_with_detection
+from repro.workloads.suite import benchmark_trace
+
+WORKLOADS = ["stream", "bodytrack", "swaptions"]
+SCALE = "small"
+
+CORE_COUNTS = [3, 6, 12]
+FREQUENCIES = [250.0, 500.0, 1000.0]
+LOG_SIZES = [12 * 1024, 36 * 1024]
+
+MAX_SLOWDOWN = 1.05
+MAX_MEAN_DELAY_US = 4.0
+
+
+def main() -> None:
+    base_cfg = default_config()
+    traces = {name: benchmark_trace(name, SCALE) for name in WORKLOADS}
+    baselines = {
+        name: run_unprotected(trace, base_cfg).cycles
+        for name, trace in traces.items()
+    }
+
+    rows = []
+    for cores in CORE_COUNTS:
+        for freq in FREQUENCIES:
+            for log_bytes in LOG_SIZES:
+                cfg = (base_cfg.with_checker_cores(cores)
+                       .with_checker_freq(freq)
+                       .with_log(log_bytes, 5000))
+                worst_slow = 0.0
+                worst_delay = 0.0
+                for name, trace in traces.items():
+                    run = run_with_detection(trace, cfg)
+                    worst_slow = max(
+                        worst_slow, run.main_cycles / baselines[name])
+                    worst_delay = max(
+                        worst_delay, run.report.mean_delay_ns() / 1000)
+                area = area_model(cfg)
+                power = power_model(cfg)
+                rows.append({
+                    "cores": cores, "freq": freq,
+                    "log_kib": log_bytes // 1024,
+                    "slow": worst_slow, "delay_us": worst_delay,
+                    "area": area.overhead_vs_core,
+                    "power": power.overhead,
+                    "ok": (worst_slow <= MAX_SLOWDOWN
+                           and worst_delay <= MAX_MEAN_DELAY_US),
+                })
+
+    rows.sort(key=lambda r: (not r["ok"], r["area"] + r["power"]))
+    print(f"constraints: slowdown <= {MAX_SLOWDOWN}, "
+          f"mean delay <= {MAX_MEAN_DELAY_US} us "
+          f"(worst case over {', '.join(WORKLOADS)})\n")
+    header = (f"{'cores':>5} {'MHz':>6} {'log':>6} {'slowdown':>9} "
+              f"{'delay':>8} {'area':>7} {'power':>7}  verdict")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        verdict = "OK" if r["ok"] else "violates budget"
+        print(f"{r['cores']:>5} {r['freq']:>6.0f} {r['log_kib']:>5}K "
+              f"{r['slow']:>9.3f} {r['delay_us']:>6.2f}us "
+              f"{100 * r['area']:>6.1f}% {100 * r['power']:>6.1f}%  {verdict}")
+
+    best = next((r for r in rows if r["ok"]), None)
+    if best:
+        print(f"\ncheapest within budget: {best['cores']} cores @ "
+              f"{best['freq']:.0f} MHz, {best['log_kib']} KiB log "
+              f"({100 * best['area']:.1f}% area, "
+              f"{100 * best['power']:.1f}% power)")
+    else:
+        print("\nno configuration meets the budget - relax a constraint")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``figures [NAME ...]``
+    Regenerate paper tables/figures (default: all).  Names: table1,
+    table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, area,
+    power.
+``campaign [--benchmark NAME] [--trials N]``
+    Run a fault-injection coverage campaign.
+``bench NAME [--scale small|default]``
+    Run one Table II benchmark under detection and print its summary.
+``list``
+    List available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures as fig_mod
+from repro.harness.experiment import ExperimentRunner
+
+FIGURE_COMMANDS = {
+    "table1": lambda runner: fig_mod.table1(),
+    "table2": lambda runner: fig_mod.table2(),
+    "fig1": fig_mod.fig1_comparison,
+    "fig7": fig_mod.fig7,
+    "fig8": fig_mod.fig8,
+    "fig9": fig_mod.fig9,
+    "fig10": fig_mod.fig10,
+    "fig11": fig_mod.fig11,
+    "fig12": fig_mod.fig12,
+    "fig13": fig_mod.fig13,
+    "area": lambda runner: fig_mod.sec6b_area(),
+    "power": lambda runner: fig_mod.sec6c_power(),
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = args.names or list(FIGURE_COMMANDS)
+    unknown = [n for n in names if n not in FIGURE_COMMANDS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(FIGURE_COMMANDS)}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(scale=args.scale)
+    for name in names:
+        text, _data = FIGURE_COMMANDS[name](runner)
+        print(text)
+        print()
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.common.config import default_config
+    from repro.common.rng import derive
+    from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+    from repro.detection.system import run_with_detection
+    from repro.isa.executor import execute_program
+    from repro.workloads.suite import build_benchmark
+
+    sites = [FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
+             FaultSite.STORE_VALUE, FaultSite.STORE_ADDR, FaultSite.BRANCH]
+    config = default_config()
+    program = build_benchmark(args.benchmark, "small")
+    clean = execute_program(program)
+    rng = derive(args.seed, "cli-campaign")
+    activated = detected = 0
+    for _ in range(args.trials):
+        site = rng.choice(sites)
+        fault = TransientFault(site, seq=rng.randrange(5, len(clean) - 5),
+                               bit=rng.randrange(0, 48))
+        injector = FaultInjector([fault])
+        trace = execute_program(program, fault_injector=injector)
+        if not injector.activations:
+            continue
+        activated += 1
+        if run_with_detection(trace, config).report.detected:
+            detected += 1
+    print(f"campaign over {args.benchmark}: {args.trials} trials, "
+          f"{activated} activated, {detected} detected "
+          f"({100 * detected / max(1, activated):.1f}% of activated)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    summary = runner.summary(args.name)
+    report = runner.detection(args.name).report
+    print(f"benchmark: {args.name} ({args.scale})")
+    print(f"  slowdown:         {summary.slowdown:.4f}")
+    print(f"  mean delay:       {summary.mean_delay_ns:.0f} ns")
+    print(f"  max delay:        {summary.max_delay_ns:.0f} ns")
+    print(f"  segments checked: {report.segments_checked}")
+    closes = {k: v for k, v in report.closes_by_reason.items() if v}
+    print(f"  closes:           {closes}")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+    for name in BENCHMARK_ORDER:
+        spec = BENCHMARKS[name]
+        print(f"{name:<14} {spec.source:<8} {spec.character}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """One-line summary per benchmark: slowdown + delay statistics."""
+    from repro.workloads.suite import BENCHMARK_ORDER
+    runner = ExperimentRunner(scale=args.scale)
+    print(f"{'benchmark':<14}{'slowdown':>10}{'mean delay':>12}"
+          f"{'max delay':>12}{'segments':>10}")
+    for name in BENCHMARK_ORDER:
+        summary = runner.summary(name)
+        report = runner.detection(name).report
+        print(f"{name:<14}{summary.slowdown:>10.4f}"
+              f"{summary.mean_delay_ns:>10.0f}ns"
+              f"{summary.max_delay_ns:>10.0f}ns"
+              f"{report.segments_checked:>10}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Parallel Error Detection Using "
+                    "Heterogeneous Cores' (DSN 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p_fig.add_argument("names", nargs="*",
+                       help=f"which ({', '.join(FIGURE_COMMANDS)})")
+    p_fig.add_argument("--scale", default="small",
+                       choices=["small", "default"])
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_camp = sub.add_parser("campaign", help="fault-injection campaign")
+    p_camp.add_argument("--benchmark", default="bodytrack")
+    p_camp.add_argument("--trials", type=int, default=30)
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.set_defaults(func=cmd_campaign)
+
+    p_bench = sub.add_parser("bench", help="run one benchmark")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--scale", default="small",
+                         choices=["small", "default"])
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_list = sub.add_parser("list", help="list benchmarks")
+    p_list.set_defaults(func=cmd_list)
+
+    p_suite = sub.add_parser("suite", help="summary over all benchmarks")
+    p_suite.add_argument("--scale", default="small",
+                         choices=["small", "default"])
+    p_suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Analysis: area/power models (§VI-B/C), delay analytics, report formatting."""
+
+from repro.analysis.area import AreaBreakdown, added_sram_kib, area_model
+from repro.analysis.delay import DelaySummary, density_series, summarize_delays
+from repro.analysis.power import (
+    PowerBreakdown,
+    energy_overhead_per_run,
+    power_model,
+)
+from repro.analysis.report import (
+    delay_table,
+    format_table,
+    series_block,
+    slowdown_table,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "DelaySummary",
+    "PowerBreakdown",
+    "added_sram_kib",
+    "area_model",
+    "delay_table",
+    "density_series",
+    "energy_overhead_per_run",
+    "format_table",
+    "power_model",
+    "series_block",
+    "slowdown_table",
+    "summarize_delays",
+]

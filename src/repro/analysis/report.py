@@ -1,0 +1,69 @@
+"""Plain-text table/series renderers for the benchmark harness.
+
+Every figure-regeneration benchmark prints its data through these helpers
+so the output reads like the paper's tables: one row per benchmark, one
+column per parameter value, plus a geometric-mean summary row where the
+paper quotes one.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import geometric_mean
+
+
+def format_table(title: str, header: list[str],
+                 rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def slowdown_table(title: str, columns: list[str],
+                   data: dict[str, list[float]],
+                   order: list[str]) -> str:
+    """A benchmarks × configurations slowdown table with a geomean row."""
+    header = ["benchmark"] + columns
+    rows = [
+        [name] + [f"{value:.3f}" for value in data[name]]
+        for name in order if name in data
+    ]
+    if rows:
+        means = [
+            geometric_mean([data[name][i] for name in order if name in data])
+            for i in range(len(columns))
+        ]
+        rows.append(["geomean"] + [f"{value:.3f}" for value in means])
+    return format_table(title, header, rows)
+
+
+def delay_table(title: str, columns: list[str],
+                data: dict[str, list[float]],
+                order: list[str], unit: str = "ns") -> str:
+    """A benchmarks × configurations delay table."""
+    header = ["benchmark"] + [f"{c} ({unit})" for c in columns]
+    rows = [
+        [name] + [f"{value:.0f}" for value in data[name]]
+        for name in order if name in data
+    ]
+    return format_table(title, header, rows)
+
+
+def series_block(title: str, series: dict[str, list[tuple[float, float]]],
+                 x_label: str, y_label: str, points: int = 10) -> str:
+    """Render density-style series compactly: a few sample points each."""
+    lines = [title, "", f"  ({x_label} -> {y_label})"]
+    for name, pts in series.items():
+        if len(pts) > points:
+            step = len(pts) // points
+            pts = pts[::step][:points]
+        rendered = ", ".join(f"{x:.0f}:{y:.2e}" for x, y in pts)
+        lines.append(f"  {name:<14} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Comparison baselines: unprotected, dual-core lockstep, RMT."""
+
+from repro.baselines.lockstep import LockstepResult, run_lockstep
+from repro.baselines.rmt import RMTResult, rmt_config, run_rmt
+from repro.baselines.unprotected import SchemeSummary, run_baseline
+
+__all__ = [
+    "LockstepResult",
+    "RMTResult",
+    "SchemeSummary",
+    "rmt_config",
+    "run_baseline",
+    "run_lockstep",
+    "run_rmt",
+]

@@ -1,0 +1,83 @@
+"""Redundant multi-threading (RMT) baseline (paper §II-B, §VII-B).
+
+AR-SMT / CRT-style schemes run a duplicate of the program as a second
+simultaneous thread on the *same* core and compare results, trading
+performance for area: no second core is needed, but the two threads share
+fetch/issue/commit bandwidth and window resources, and Mukherjee et al.
+report ≈ 32 % performance overhead.  Because both copies execute on the
+same hardware, hard faults are not covered without further tricks
+(Blackjack adds another ≈ 15 %).
+
+We model the contention mechanistically: the leading thread runs on a core
+whose shared resources are split with the trailing thread — half the ROB,
+IQ and LQ/SQ entries, and two-thirds of the fetch/commit bandwidth (the
+trailing thread is cheaper per instruction since its loads come from the
+load value queue, so the split is not 50/50).  This reproduces the key
+qualitative behaviour: high-ILP compute-bound code pays heavily, while
+memory-bound code hides the sharing under its stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.config import SystemConfig
+from repro.common.time import ticks_to_ns
+from repro.core.ooo_core import CoreResult, OoOCore
+from repro.isa.executor import Trace
+
+#: Area added by RMT support (comparator, load value queue, thread state).
+RMT_AREA_OVERHEAD = 0.05
+
+#: Energy overhead: every instruction executes twice, with small savings
+#: from shared fetch and the trailing thread's LVQ hits.
+RMT_ENERGY_OVERHEAD = 0.90
+
+
+@dataclass(frozen=True)
+class RMTResult:
+    """Timing + overhead summary for a redundant-multithreading run."""
+
+    core: CoreResult
+    cycles: int
+    slowdown_vs_unprotected: float
+    detection_latency_ns: float
+    area_overhead: float
+    energy_overhead: float
+    covers_hard_faults: bool
+
+
+def rmt_config(config: SystemConfig) -> SystemConfig:
+    """The leading thread's effective share of the SMT core."""
+    mc = config.main_core
+    shared = replace(
+        mc,
+        fetch_width=max(1, (2 * mc.fetch_width) // 3),
+        commit_width=max(1, (2 * mc.commit_width) // 3),
+        rob_entries=max(4, mc.rob_entries // 2),
+        iq_entries=max(2, mc.iq_entries // 2),
+        lq_entries=max(2, mc.lq_entries // 2),
+        sq_entries=max(2, mc.sq_entries // 2),
+        int_alus=max(1, (2 * mc.int_alus) // 3),
+        fp_alus=max(1, mc.fp_alus // 2),
+        muldiv_alus=max(1, mc.muldiv_alus // 2),
+    )
+    return replace(config, main_core=shared)
+
+
+def run_rmt(trace: Trace, config: SystemConfig) -> RMTResult:
+    """Time ``trace`` under redundant multi-threading on the main core."""
+    base = OoOCore(config).run(trace)
+    shared = OoOCore(rmt_config(config)).run(trace)
+    period = config.main_core.clock().period_ticks
+    # the trailing thread lags by roughly the instruction window
+    detection_latency = ticks_to_ns(config.main_core.rob_entries * period)
+    return RMTResult(
+        core=shared,
+        cycles=shared.cycles,
+        slowdown_vs_unprotected=shared.cycles / base.cycles,
+        detection_latency_ns=detection_latency,
+        area_overhead=RMT_AREA_OVERHEAD,
+        energy_overhead=RMT_ENERGY_OVERHEAD,
+        covers_hard_faults=False,
+    )

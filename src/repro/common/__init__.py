@@ -1,0 +1,67 @@
+"""Shared substrate: time base, configuration, statistics, events, errors."""
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CheckerConfig,
+    DetectionConfig,
+    DRAMConfig,
+    MainCoreConfig,
+    MemoryConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.common.errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    FaultSpecError,
+    MemoryAccessError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.events import EventQueue, Simulator
+from repro.common.rng import DEFAULT_SEED, derive, make_rng
+from repro.common.stats import Counter, RunningStats, Samples, geometric_mean
+from repro.common.time import (
+    TICKS_PER_NS,
+    TICKS_PER_US,
+    Clock,
+    ns_to_ticks,
+    ticks_to_ns,
+    ticks_to_us,
+)
+
+__all__ = [
+    "AssemblyError",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CheckerConfig",
+    "Clock",
+    "ConfigError",
+    "Counter",
+    "DEFAULT_SEED",
+    "DRAMConfig",
+    "DetectionConfig",
+    "EventQueue",
+    "ExecutionError",
+    "FaultSpecError",
+    "MainCoreConfig",
+    "MemoryAccessError",
+    "MemoryConfig",
+    "ReproError",
+    "RunningStats",
+    "Samples",
+    "SimulationError",
+    "Simulator",
+    "SystemConfig",
+    "TICKS_PER_NS",
+    "TICKS_PER_US",
+    "default_config",
+    "derive",
+    "geometric_mean",
+    "make_rng",
+    "ns_to_ticks",
+    "ticks_to_ns",
+    "ticks_to_us",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so that
+callers can distinguish library failures from programming errors.  Detection
+*events* (a checker discovering a fault) are not exceptions — they are data,
+reported through :class:`repro.detection.system.DetectionReport` — but misuse
+of the simulator (bad configuration, malformed programs, out-of-range
+accesses) raises the types below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown opcode, bad operand,
+    undefined label, duplicate label, ...)."""
+
+
+class ExecutionError(ReproError):
+    """The functional executor encountered an illegal situation (unaligned
+    access, unmapped instruction address, division by zero, runaway
+    execution past the instruction budget)."""
+
+
+class MemoryAccessError(ExecutionError):
+    """An access violated the memory model (misalignment, negative address)."""
+
+
+class SimulationError(ReproError):
+    """The timing simulation reached an inconsistent internal state."""
+
+
+class FaultSpecError(ReproError):
+    """A fault specification cannot be applied (e.g. targeting a dynamic
+    instruction index beyond the end of the trace)."""

@@ -1,0 +1,88 @@
+"""A small deterministic discrete-event kernel.
+
+The detection co-simulation (:mod:`repro.detection.system`) advances the
+main core's commit stream instruction by instruction, but checker-core
+completions, interrupt arrivals and segment reclamations happen at arbitrary
+times in between.  This heap-based queue keeps those future events ordered.
+
+Determinism matters: events scheduled for the same tick pop in insertion
+order (stable FIFO tie-break), so two runs of the same experiment produce
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+
+class EventQueue:
+    """A time-ordered queue of ``(time, payload)`` events."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: int, payload: Any) -> None:
+        """Add ``payload`` to fire at absolute ``time`` ticks."""
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return the earliest event as ``(time, payload)``."""
+        time, _seq, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def pop_until(self, time: int) -> Iterator[tuple[int, Any]]:
+        """Yield and remove every event with time <= ``time``, in order."""
+        while self._heap and self._heap[0][0] <= time:
+            yield self.pop()
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class Simulator:
+    """A minimal run-to-completion event loop over :class:`EventQueue`.
+
+    Payloads must be callables taking the fire time; they may schedule
+    further events through the simulator.  Used by tests and by the
+    interrupt generator; the main detection co-simulation drives its
+    EventQueue directly for speed.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+
+    def at(self, time: int, action: Callable[[int], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        self.queue.schedule(time, action)
+
+    def after(self, delay: int, action: Callable[[int], None]) -> None:
+        self.at(self.now + delay, action)
+
+    def run(self, until: int | None = None) -> int:
+        """Run until the queue drains or past ``until``; returns final time."""
+        while self.queue:
+            next_time = self.queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                break
+            time, action = self.queue.pop()
+            self.now = time
+            action(time)
+        return self.now

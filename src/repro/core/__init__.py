@@ -1,0 +1,22 @@
+"""Core timing models: the OoO main core and the in-order checker cores."""
+
+from repro.core.branch import TournamentPredictor
+from repro.core.inorder_core import (
+    CHECKPOINT_COMPARE_CYCLES,
+    InOrderCoreModel,
+    SegmentTiming,
+)
+from repro.core.latencies import NON_PIPELINED, execute_latency
+from repro.core.ooo_core import CommitHook, CoreResult, OoOCore
+
+__all__ = [
+    "CHECKPOINT_COMPARE_CYCLES",
+    "CommitHook",
+    "CoreResult",
+    "InOrderCoreModel",
+    "NON_PIPELINED",
+    "OoOCore",
+    "SegmentTiming",
+    "TournamentPredictor",
+    "execute_latency",
+]

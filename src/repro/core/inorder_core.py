@@ -1,0 +1,131 @@
+"""In-order checker-core timing model (paper §IV-B, Figure 4).
+
+A small scalar 4-stage pipeline: issues at most one instruction per cycle,
+functional units are pipelined (so back-to-back independent FP operations
+sustain one per cycle) but a consumer of a not-yet-ready result interlocks.
+Loads and stores are serviced from the core's load-store log segment in a
+single cycle — the checker has **no data cache**.  Instruction fetch goes
+through the private L0 I-cache and the shared checker L1I.
+
+Branches use static not-taken prediction with a short taken-branch bubble;
+the pipeline is short, so the penalty is small (Figure 4's design point).
+
+All times are in *checker-core cycles*; the detection system converts to
+ticks using the checker clock, which is the axis of the paper's Figure 9
+frequency sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CheckerConfig
+from repro.core.latencies import NON_PIPELINED, execute_latency
+from repro.isa.instructions import pc_to_byte_address
+from repro.isa.meta import ProgramMeta
+from repro.memory.hierarchy import CheckerICaches
+
+#: Bubble cycles after a taken branch (fetch redirect in a 4-stage pipe).
+TAKEN_BRANCH_PENALTY = 2
+
+#: Cycles to read the next entry from the load-store log segment.
+LOG_READ_LATENCY = 1
+
+
+@dataclass
+class SegmentTiming:
+    """Timing of one replayed segment on a checker core."""
+
+    #: checker cycle (relative to segment start) each log entry was checked
+    entry_check_cycles: list[int]
+    #: total checker cycles to execute the segment, including the final
+    #: register-checkpoint comparison
+    total_cycles: int
+
+
+#: Cycles to compare the architectural register file against the end
+#: checkpoint (two-ported file, 32+32 registers, matching the main core's
+#: 16-cycle checkpoint copy cost).
+CHECKPOINT_COMPARE_CYCLES = 16
+
+
+class InOrderCoreModel:
+    """Timing model for one checker core."""
+
+    __slots__ = ("config", "icaches", "core_id")
+
+    def __init__(self, config: CheckerConfig, icaches: CheckerICaches,
+                 core_id: int) -> None:
+        self.config = config
+        self.icaches = icaches
+        self.core_id = core_id
+
+    def run_segment(
+        self,
+        steps: list[tuple[int, bool]],
+        metas: ProgramMeta,
+        start_cycle: int = 0,
+    ) -> SegmentTiming:
+        """Time the replay of one segment.
+
+        ``steps`` is the replayed instruction sequence as ``(pc, taken)``
+        pairs (produced by the functional replay in
+        :mod:`repro.detection.checker`).  Returns per-log-entry check cycles
+        relative to ``start_cycle`` == 0 of the segment.
+        """
+        icaches = self.icaches
+        core_id = self.core_id
+        int_ready = [0] * 32
+        fp_ready = [0] * 32
+        cycle = start_cycle
+        line_shift = 6
+        current_line = -1
+        fetch_ready = start_cycle
+        entry_checks: list[int] = []
+
+        for pc, taken in steps:
+            meta = metas[pc]
+            byte_addr = pc_to_byte_address(pc)
+            line = byte_addr >> line_shift
+            if line != current_line:
+                fetch_ready = icaches.access(core_id, byte_addr, cycle)
+                current_line = line
+            if fetch_ready > cycle:
+                cycle = fetch_ready
+
+            # operand interlock
+            ready = cycle
+            for is_fp, idx in meta.srcs:
+                t = fp_ready[idx] if is_fp else int_ready[idx]
+                if t > ready:
+                    ready = t
+            cycle = ready
+
+            if meta.is_load or meta.is_store:
+                # log segment read + hardware compare, per micro-op
+                done = cycle + LOG_READ_LATENCY * meta.uops
+                for _ in range(meta.uops):
+                    entry_checks.append(done - start_cycle)
+            else:
+                latency = execute_latency(meta.op)
+                done = cycle + latency
+                if meta.op.value in ("RDRAND", "RDCYCLE"):
+                    # non-deterministic results consumed from the log
+                    entry_checks.append(done - start_cycle)
+
+            for is_fp, idx in meta.dsts:
+                if is_fp:
+                    fp_ready[idx] = done
+                else:
+                    int_ready[idx] = done
+
+            if meta.op in NON_PIPELINED:
+                cycle = done  # unit blocks the scalar pipe
+            else:
+                cycle += 1
+            if taken and (meta.is_branch or meta.is_jump):
+                cycle += TAKEN_BRANCH_PENALTY
+                current_line = -1
+
+        total = (cycle - start_cycle) + CHECKPOINT_COMPARE_CYCLES
+        return SegmentTiming(entry_check_cycles=entry_checks, total_cycles=total)

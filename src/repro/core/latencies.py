@@ -1,0 +1,45 @@
+"""Per-opcode execution latencies, in cycles of the executing core's clock.
+
+Both the main core and the checker cores use the same table — the paper's
+heterogeneity is in width, scheduling and clock frequency, not in
+functional-unit latency.  Division and square root additionally occupy
+their unit (non-pipelined); everything else is fully pipelined.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+
+#: Default latency for anything not listed below.
+DEFAULT_LATENCY = 1
+
+_LATENCIES: dict[Opcode, int] = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.REM: 12,
+    Opcode.FADD: 3,
+    Opcode.FSUB: 3,
+    Opcode.FMUL: 4,
+    Opcode.FMADD: 5,
+    Opcode.FDIV: 12,
+    Opcode.FSQRT: 16,
+    Opcode.FMIN: 2,
+    Opcode.FMAX: 2,
+    Opcode.FCMPLT: 2,
+    Opcode.FCMPLE: 2,
+    Opcode.FCMPEQ: 2,
+    Opcode.FCVT_I2F: 2,
+    Opcode.FCVT_F2I: 2,
+    Opcode.FNEG: 1,
+    Opcode.FABS: 1,
+    Opcode.FMOV: 1,
+}
+
+#: Opcodes whose functional unit is busy for the whole latency
+#: (non-pipelined).
+NON_PIPELINED = frozenset({Opcode.DIV, Opcode.REM, Opcode.FDIV, Opcode.FSQRT})
+
+
+def execute_latency(op: Opcode) -> int:
+    """Execution latency of ``op`` in cycles (excluding memory access)."""
+    return _LATENCIES.get(op, DEFAULT_LATENCY)

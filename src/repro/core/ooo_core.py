@@ -1,0 +1,347 @@
+"""Trace-driven out-of-order main-core timing model.
+
+The model walks the committed dynamic trace (from the functional executor)
+and computes per-instruction fetch → dispatch → issue → complete → commit
+times under the Table I resource constraints:
+
+* fetch bandwidth and L1I behaviour (line-granularity accesses, redirect
+  bubbles after branch mispredictions from a real tournament predictor);
+* dispatch limited by width, ROB occupancy (µop-granular, so LDP/STP take
+  two slots), IQ occupancy, and LQ/SQ occupancy;
+* issue when operands are ready, subject to functional-unit counts
+  (non-pipelined divide/sqrt occupy their unit);
+* loads access the L1D/L2/DRAM hierarchy with MSHR limits, stride
+  prefetching, and store-to-load forwarding from in-flight stores;
+* in-order commit limited by commit width.
+
+This is deliberately a *mechanistic approximation*, not a µop-accurate
+pipeline: it reproduces the IPC contrast between memory-bound and
+compute-bound codes and the stall behaviour the detection scheme interacts
+with, at a speed that allows the full parameter sweeps of §VI-A.
+
+The detection system attaches through :class:`CommitHook`:
+
+* ``pre_commit`` lets it hold an instruction's commit back (main core
+  stalled because every log segment is full — paper §IV-D);
+* ``post_commit`` lets it pause commit afterwards (the 16-cycle register
+  checkpoint at the end of a segment — paper §VI "Register Checkpoint
+  Overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.core.branch import TournamentPredictor
+from repro.core.latencies import NON_PIPELINED, execute_latency
+from repro.isa.executor import DynInstr, LOAD, STORE, Trace
+from repro.isa.instructions import FuClass, Opcode, pc_to_byte_address
+from repro.isa.meta import program_meta
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class CommitHook:
+    """Interface by which the detection system observes/stalls commit.
+
+    The base implementation is a no-op (unprotected core).
+    """
+
+    def pre_commit(self, instr: DynInstr, earliest_cycle: int) -> int:
+        """Return the earliest cycle at which ``instr`` may commit (>= the
+        argument).  Called once per instruction, in commit order."""
+        return earliest_cycle
+
+    def post_commit(self, instr: DynInstr, commit_cycle: int) -> int:
+        """Called after ``instr`` commits at ``commit_cycle``.  Returns the
+        number of cycles to pause commit afterwards (0 for none)."""
+        return 0
+
+    def finish(self, last_commit_cycle: int) -> int:
+        """Called once after the last instruction commits; returns the cycle
+        at which the *system* is done (e.g. held-back program termination
+        waiting for outstanding checks, paper §IV-H)."""
+        return last_commit_cycle
+
+
+@dataclass
+class CoreResult:
+    """Timing outcome of one main-core run."""
+
+    cycles: int
+    instructions: int
+    uops: int
+    #: cycle the whole system finished (== cycles without a hook)
+    system_cycles: int = 0
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    commit_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+#: Frontend depth in cycles between fetch and dispatch (decode+rename).
+FRONTEND_DEPTH = 4
+
+
+class OoOCore:
+    """The 3-wide out-of-order core of Table I."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.core = config.main_core
+        self.clock = self.core.clock()
+        self.hierarchy = MemoryHierarchy(config.memory, self.clock)
+        self.predictor = TournamentPredictor(config.branch)
+
+    def run(self, trace: Trace, hook: CommitHook | None = None) -> CoreResult:
+        """Simulate the committed ``trace``; returns timing totals.
+
+        If ``hook`` is given, its pre/post-commit methods are invoked for
+        every instruction in commit order (this is how the parallel error
+        detection attaches to the core).
+        """
+        core = self.core
+        meta_table = program_meta(trace.program)
+        metas = meta_table.metas
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        mispredict_penalty = core.mispredict_penalty_cycles
+
+        fetch_width = core.fetch_width
+        commit_width = core.commit_width
+        rob_size = core.rob_entries
+        iq_size = core.iq_entries
+        lq_size = core.lq_entries
+        sq_size = core.sq_entries
+
+        # register ready times: int and fp files
+        int_ready = [0] * 32
+        fp_ready = [0] * 32
+
+        # functional units: next-free cycle per unit instance
+        fu_pools: dict[FuClass, list[int]] = {
+            FuClass.INT_ALU: [0] * core.int_alus,
+            FuClass.FP_ALU: [0] * core.fp_alus,
+            FuClass.MULDIV: [0] * core.muldiv_alus,
+            FuClass.MEM: [0] * 2,       # one load port + one store port
+            FuClass.BRANCH: [0] * core.int_alus,  # branches use int ALUs
+        }
+
+        # occupancy rings: cycle at which the slot is released
+        rob_ring = [0] * rob_size
+        rob_head = 0
+        iq_ring = [0] * iq_size
+        iq_head = 0
+        lq_ring = [0] * lq_size
+        lq_head = 0
+        sq_ring = [0] * sq_size
+        sq_head = 0
+
+        # in-flight stores for store-to-load forwarding: addr -> data cycle
+        store_forward: dict[int, int] = {}
+
+        # fetch state
+        fetch_cycle = 0          # cycle the next fetch group starts
+        fetch_slots = 0          # instructions fetched in fetch_cycle
+        line_shift = 6           # 64-byte I-cache lines
+        current_fetch_line = -1
+        icache_ready = 0
+
+        # commit state
+        last_commit_cycle = 0
+        commit_slots = 0
+        commit_floor = 0         # earliest next commit (stall injection)
+        stall_cycles_total = 0
+
+        instructions = trace.instructions
+        total_uops = 0
+
+        for dyn in instructions:
+            meta = metas[dyn.pc]
+            op = meta.op
+            uops = meta.uops
+            total_uops += uops
+
+            # ---- fetch -----------------------------------------------------
+            line = pc_to_byte_address(dyn.pc) >> line_shift
+            if line != current_fetch_line:
+                icache_ready = hierarchy.access_instr(
+                    pc_to_byte_address(dyn.pc), fetch_cycle)
+                current_fetch_line = line
+            this_fetch = max(fetch_cycle, icache_ready)
+            if this_fetch > fetch_cycle:
+                fetch_cycle = this_fetch
+                fetch_slots = 0
+            fetch_slots += 1
+            if fetch_slots >= fetch_width:
+                fetch_cycle += 1
+                fetch_slots = 0
+
+            # ---- dispatch ---------------------------------------------------
+            dispatch = this_fetch + FRONTEND_DEPTH
+            # ROB occupancy (µop-granular): note the slots this instruction
+            # claims; their release times are written at commit below.
+            rob_slots = []
+            for _ in range(uops):
+                if rob_ring[rob_head] > dispatch:
+                    dispatch = rob_ring[rob_head]
+                rob_slots.append(rob_head)
+                rob_head = rob_head + 1 if rob_head + 1 < rob_size else 0
+            # IQ occupancy
+            if iq_ring[iq_head] > dispatch:
+                dispatch = iq_ring[iq_head]
+            # LQ/SQ occupancy
+            if meta.is_load:
+                if lq_ring[lq_head] > dispatch:
+                    dispatch = lq_ring[lq_head]
+            elif meta.is_store:
+                if sq_ring[sq_head] > dispatch:
+                    dispatch = sq_ring[sq_head]
+
+            # ---- issue ------------------------------------------------------
+            ready = dispatch + 1
+            for is_fp, idx in meta.srcs:
+                t = fp_ready[idx] if is_fp else int_ready[idx]
+                if t > ready:
+                    ready = t
+            pool = fu_pools.get(meta.fu)
+            if pool is not None and meta.fu is not FuClass.NONE:
+                best = 0
+                best_t = pool[0]
+                for k in range(1, len(pool)):
+                    if pool[k] < best_t:
+                        best_t = pool[k]
+                        best = k
+                issue = ready if ready >= best_t else best_t
+                latency = execute_latency(op)
+                pool[best] = issue + (latency if op in NON_PIPELINED else 1)
+            else:
+                issue = ready
+                latency = 1
+
+            # ---- execute ----------------------------------------------------
+            if meta.is_load:
+                done = issue
+                for memop in dyn.mem:
+                    if memop.kind != LOAD:
+                        continue
+                    fwd = store_forward.get(memop.addr)
+                    if fwd is not None:
+                        access_done = max(issue + 1, fwd)
+                    else:
+                        access_done = hierarchy.access_data(
+                            memop.addr, False, dyn.pc, issue + 1)
+                    if access_done > done:
+                        done = access_done
+            elif meta.is_store:
+                done = issue + 1
+                for memop in dyn.mem:
+                    if memop.kind == STORE:
+                        store_forward[memop.addr] = done
+                        if len(store_forward) > 2 * sq_size:
+                            # retire oldest forwarding entries
+                            for key in list(store_forward)[:sq_size]:
+                                del store_forward[key]
+            else:
+                done = issue + latency
+
+            # ---- branch resolution -------------------------------------------
+            if meta.is_branch or meta.is_jump:
+                mispredicted = predictor.mispredicted(
+                    dyn.pc,
+                    meta.is_branch,
+                    meta.is_jump,
+                    op is Opcode.JALR,
+                    op is Opcode.JAL,
+                    bool(dyn.taken),
+                    dyn.next_pc,
+                )
+                if mispredicted:
+                    redirect = done + mispredict_penalty
+                    if redirect > fetch_cycle:
+                        fetch_cycle = redirect
+                        fetch_slots = 0
+                        current_fetch_line = -1
+
+            # ---- commit ------------------------------------------------------
+            earliest = done + 1
+            if earliest < last_commit_cycle:
+                earliest = last_commit_cycle
+            if earliest < commit_floor:
+                earliest = commit_floor
+            if hook is not None:
+                held = hook.pre_commit(dyn, earliest)
+                if held > earliest:
+                    stall_cycles_total += held - earliest
+                    earliest = held
+            if earliest == last_commit_cycle:
+                commit_slots += 1
+                if commit_slots > commit_width:
+                    earliest += 1
+                    commit_slots = 1
+            else:
+                commit_slots = 1
+            commit_cycle = earliest
+            last_commit_cycle = commit_cycle
+
+            # release resources: write release times into the slots claimed
+            # at dispatch
+            for slot in rob_slots:
+                rob_ring[slot] = commit_cycle + 1
+            iq_ring[iq_head] = issue + 1
+            iq_head = iq_head + 1 if iq_head + 1 < iq_size else 0
+            if meta.is_load:
+                lq_ring[lq_head] = commit_cycle + 1
+                lq_head = lq_head + 1 if lq_head + 1 < lq_size else 0
+            elif meta.is_store:
+                sq_ring[sq_head] = commit_cycle + 1
+                sq_head = sq_head + 1 if sq_head + 1 < sq_size else 0
+                # drain the store to the cache hierarchy post-commit
+                for memop in dyn.mem:
+                    if memop.kind == STORE:
+                        hierarchy.access_data(memop.addr, True, dyn.pc,
+                                              commit_cycle + 1)
+
+            # writeback ready times
+            for is_fp, idx in meta.dsts:
+                if is_fp:
+                    fp_ready[idx] = done
+                else:
+                    int_ready[idx] = done
+
+            if hook is not None:
+                pause = hook.post_commit(dyn, commit_cycle)
+                if pause:
+                    stall_cycles_total += pause
+                    commit_floor = commit_cycle + pause
+                    # the architectural register file / rename state must
+                    # hold still while the checkpoint is copied out, so
+                    # dispatch pauses with commit
+                    if commit_floor > fetch_cycle:
+                        fetch_cycle = commit_floor
+                        fetch_slots = 0
+                        current_fetch_line = -1
+
+        total_cycles = last_commit_cycle + 1
+        system_cycles = total_cycles
+        if hook is not None:
+            system_cycles = hook.finish(total_cycles)
+
+        return CoreResult(
+            cycles=total_cycles,
+            instructions=len(instructions),
+            uops=total_uops,
+            system_cycles=system_cycles,
+            branch_lookups=self.predictor.lookups,
+            branch_mispredicts=(self.predictor.direction_mispredicts
+                                + self.predictor.target_mispredicts),
+            l1d_misses=hierarchy.l1d.misses,
+            l2_misses=hierarchy.l2.misses,
+            commit_stall_cycles=stall_cycles_total,
+        )

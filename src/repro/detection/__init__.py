@@ -1,0 +1,55 @@
+"""The paper's contribution: parallel error detection on heterogeneous cores."""
+
+from repro.detection.checker import (
+    CheckError,
+    CheckResult,
+    ErrorKind,
+    SegmentChecker,
+)
+from repro.detection.checkpoint import ArchStateTracker, RegisterCheckpoint
+from repro.detection.faults import (
+    EXECUTION_SITES,
+    FaultInjector,
+    FaultSite,
+    HardFault,
+    TransientFault,
+)
+from repro.detection.interrupts import periodic_interrupts, random_interrupts
+from repro.detection.lfu import LfuEntry, LoadForwardingUnit
+from repro.detection.lslog import CloseReason, LogEntry, Segment, SegmentBuilder
+from repro.detection.system import (
+    DetectionEvent,
+    DetectionReport,
+    DetectionRunResult,
+    ParallelErrorDetection,
+    run_unprotected,
+    run_with_detection,
+)
+
+__all__ = [
+    "ArchStateTracker",
+    "CheckError",
+    "CheckResult",
+    "CloseReason",
+    "DetectionEvent",
+    "DetectionReport",
+    "DetectionRunResult",
+    "ErrorKind",
+    "EXECUTION_SITES",
+    "FaultInjector",
+    "FaultSite",
+    "HardFault",
+    "LfuEntry",
+    "LoadForwardingUnit",
+    "LogEntry",
+    "ParallelErrorDetection",
+    "RegisterCheckpoint",
+    "Segment",
+    "SegmentBuilder",
+    "SegmentChecker",
+    "TransientFault",
+    "periodic_interrupts",
+    "random_interrupts",
+    "run_unprotected",
+    "run_with_detection",
+]

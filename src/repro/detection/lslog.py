@@ -1,0 +1,167 @@
+"""The partitioned load-store log (paper §IV-D).
+
+An SRAM structure that records, in commit order, every load (address +
+forwarded value), every store (address + data) and every non-deterministic
+result from the main core.  It is split into one fixed-size segment per
+checker core (one-to-one, no arbitration — §IV-D), and a segment closes
+when any of these happens:
+
+* it is **full** — including the macro-op rule: a macro-op's micro-ops may
+  never straddle two segments, so an instruction whose entries do not all
+  fit closes the current segment and writes all of them into the next;
+* the **instruction timeout** is reached (§IV-J), bounding detection
+  latency for stretches of code with few memory operations;
+* an **interrupt / context switch** arrives (§IV-G);
+* the **program terminates** (§IV-H), flushing the final partial segment.
+
+The structures here are purely architectural (what is in each segment);
+their interaction with time (stalls, checkpoint pauses, checker dispatch)
+lives in :mod:`repro.detection.system`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.detection.checkpoint import RegisterCheckpoint
+from repro.isa.executor import LOAD, NONDET, STORE
+
+
+class CloseReason(enum.Enum):
+    """Why a log segment stopped filling."""
+
+    FULL = "full"
+    TIMEOUT = "timeout"
+    INTERRUPT = "interrupt"
+    TERMINATION = "termination"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One record in a load-store log segment.
+
+    ``kind`` is :data:`repro.isa.executor.LOAD`, :data:`STORE` or
+    :data:`NONDET`.  ``commit_tick`` is when the main core committed it —
+    the reference point for the paper's detection-delay metric.
+    """
+
+    kind: int
+    addr: int
+    value: int
+    commit_tick: int
+
+    def describe(self) -> str:
+        kind = {LOAD: "load", STORE: "store", NONDET: "nondet"}[self.kind]
+        return f"{kind} @{self.addr:#x} = {self.value:#x}"
+
+
+@dataclass
+class Segment:
+    """One closed (or filling) portion of the load-store log."""
+
+    index: int
+    slot: int
+    start_checkpoint: RegisterCheckpoint
+    start_seq: int
+    entries: list[LogEntry] = field(default_factory=list)
+    instr_count: int = 0
+    end_checkpoint: RegisterCheckpoint | None = None
+    end_seq: int | None = None
+    close_reason: CloseReason | None = None
+    close_tick: int = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.close_reason is not None
+
+
+class SegmentBuilder:
+    """Fills segments in commit order, enforcing the closure rules.
+
+    This is the architectural state machine of §IV-D/J: the timing layer
+    asks :meth:`will_overflow` before committing an instruction's memory
+    entries (to know which slot must be free), appends entries and
+    instruction counts as commits happen, and is told when to cut a
+    segment.  Closed segments are handed back for dispatch to a checker.
+    """
+
+    def __init__(self, capacity: int, timeout: int | None, num_slots: int,
+                 first_checkpoint: RegisterCheckpoint) -> None:
+        if capacity < 2:
+            raise ConfigError(
+                f"segment capacity {capacity} cannot hold one macro-op's "
+                f"entries; enlarge the log")
+        self.capacity = capacity
+        self.timeout = timeout
+        self.num_slots = num_slots
+        self._next_index = 0
+        self._next_slot = 0
+        self.current = self._new_segment(first_checkpoint, start_seq=0)
+        self.segments_closed = 0
+        self.closes_by_reason: dict[CloseReason, int] = {r: 0 for r in CloseReason}
+
+    def _new_segment(self, checkpoint: RegisterCheckpoint, start_seq: int) -> Segment:
+        segment = Segment(
+            index=self._next_index,
+            slot=self._next_slot,
+            start_checkpoint=checkpoint,
+            start_seq=start_seq,
+        )
+        self._next_index += 1
+        self._next_slot = (self._next_slot + 1) % self.num_slots
+        return segment
+
+    # -- queries used by the timing layer -----------------------------------
+
+    def will_overflow(self, entry_count: int) -> bool:
+        """Would committing ``entry_count`` entries overflow the segment?
+
+        Macro-op rule: either they all fit in the current segment, or the
+        segment closes and they all go into the next one.
+        """
+        if entry_count == 0:
+            return False
+        if entry_count > self.capacity:
+            raise ConfigError(
+                f"an instruction produced {entry_count} log entries but a "
+                f"segment holds only {self.capacity}")
+        return len(self.current.entries) + entry_count > self.capacity
+
+    def timeout_reached(self) -> bool:
+        """Has the current segment hit the instruction timeout?"""
+        return (self.timeout is not None
+                and self.current.instr_count >= self.timeout)
+
+    def is_full(self) -> bool:
+        return len(self.current.entries) >= self.capacity
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, entries: list[LogEntry]) -> None:
+        """Append one committed instruction's entries (caller has already
+        closed the segment if they would not fit)."""
+        if len(self.current.entries) + len(entries) > self.capacity:
+            raise ConfigError("segment overflow: close before appending")
+        self.current.entries.extend(entries)
+
+    def count_instruction(self) -> None:
+        self.current.instr_count += 1
+
+    def close(self, reason: CloseReason, end_checkpoint: RegisterCheckpoint,
+              end_seq: int, close_tick: int) -> Segment:
+        """Close the current segment and open the next.
+
+        The end checkpoint of the closed segment becomes the start
+        checkpoint of its successor — the induction chain of §IV.
+        """
+        closed = self.current
+        closed.close_reason = reason
+        closed.end_checkpoint = end_checkpoint
+        closed.end_seq = end_seq
+        closed.close_tick = close_tick
+        self.segments_closed += 1
+        self.closes_by_reason[reason] += 1
+        self.current = self._new_segment(end_checkpoint, start_seq=end_seq)
+        return closed

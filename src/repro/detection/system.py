@@ -1,0 +1,377 @@
+"""The parallel error detection system (paper §IV, Figure 3).
+
+:class:`ParallelErrorDetection` attaches to the out-of-order core's commit
+stream (as a :class:`repro.core.ooo_core.CommitHook`) and co-simulates:
+
+* the **load forwarding unit** duplicating loads at access and forwarding
+  them into the log at commit (§IV-C);
+* the **partitioned load-store log**: entries append in commit order; a
+  segment closes on fill / instruction timeout / interrupt / termination
+  (§IV-D, §IV-G, §IV-H, §IV-J);
+* **register checkpoints** at each closure, pausing commit for the Table I
+  16 cycles (§IV-E);
+* **back-pressure**: when the next log segment's slot is still being
+  checked, the main core's commit stalls until the checker frees it (the
+  paper's "if all log segments are full, we stall the main core");
+* **checker dispatch**: each closed segment is functionally replayed
+  (:mod:`repro.detection.checker`) and timed on its in-order core model in
+  the checker clock domain, producing per-entry check timestamps;
+* **detection-delay accounting**: for every load/store, the time from
+  main-core commit to its check on a checker core — the metric of
+  Figures 8, 11 and 12.
+
+The hook never looks at an oracle: errors surface only through the replay's
+hardware comparisons, and the report records when each check completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Samples
+from repro.common.time import ticks_to_ns
+from repro.core.inorder_core import InOrderCoreModel
+from repro.core.ooo_core import CommitHook, CoreResult, OoOCore
+from repro.detection.checker import CheckError, SegmentChecker
+from repro.detection.checkpoint import ArchStateTracker, RegisterCheckpoint
+from repro.detection.faults import FaultSite, TransientFault
+from repro.detection.lfu import LoadForwardingUnit
+from repro.detection.lslog import CloseReason, LogEntry, Segment, SegmentBuilder
+from repro.isa.executor import DynInstr, LOAD, NONDET, STORE, Trace
+from repro.isa.meta import program_meta
+from repro.isa.program import Program
+from repro.memory.hierarchy import CheckerICaches
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One error reported by a checker core."""
+
+    error: CheckError
+    #: absolute tick at which the failing check completed
+    detect_tick: int
+    #: tick the offending segment closed (checkpoint taken)
+    segment_close_tick: int
+
+    @property
+    def detect_ns(self) -> float:
+        return ticks_to_ns(self.detect_tick)
+
+
+@dataclass
+class DetectionReport:
+    """Everything the detection system observed during one run."""
+
+    #: per-load/store delay between commit and check, in nanoseconds
+    delays_ns: Samples = field(default_factory=Samples)
+    events: list[DetectionEvent] = field(default_factory=list)
+    segments_checked: int = 0
+    entries_checked: int = 0
+    closes_by_reason: dict[str, int] = field(default_factory=dict)
+    #: cycles the main core spent stalled waiting for a free log segment
+    log_full_stall_cycles: int = 0
+    #: cycles commit paused for register checkpoint copies
+    checkpoint_stall_cycles: int = 0
+    checkpoints_taken: int = 0
+    #: busy ticks per checker core (for utilisation)
+    checker_busy_ticks: list[int] = field(default_factory=list)
+    #: tick the last outstanding check finished (program termination is
+    #: held back until then — §IV-H)
+    all_checks_done_tick: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def first_event(self) -> DetectionEvent | None:
+        return min(self.events, key=lambda e: e.detect_tick) \
+            if self.events else None
+
+    def first_error_position(self) -> tuple[int, int | None] | None:
+        """The *program-order-first* error: (segment index, entry index).
+
+        The paper (§IV): once every check up to a point completes, the
+        system can identify the position of the first error — later
+        errors may be consequences of it.  Entry index is None when the
+        failing check was the register-checkpoint validation or a
+        stream-level divergence.
+        """
+        if not self.events:
+            return None
+        first = min(
+            self.events,
+            key=lambda e: (e.error.segment_index,
+                           e.error.entry_index if e.error.entry_index
+                           is not None else 1 << 60))
+        return first.error.segment_index, first.error.entry_index
+
+    def mean_delay_ns(self) -> float:
+        return self.delays_ns.mean()
+
+    def max_delay_ns(self) -> float:
+        return self.delays_ns.max()
+
+
+class ParallelErrorDetection(CommitHook):
+    """Co-simulation hook implementing the paper's detection scheme."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        program: Program,
+        checkpoint_faults: list[TransientFault] | None = None,
+        checker_faults: list[TransientFault] | None = None,
+        interrupt_seqs: list[int] | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.program = program
+        self.metas = program_meta(program)
+
+        num_cores = config.checker.num_cores
+        self.num_cores = num_cores
+        self.main_period = config.main_core.clock().period_ticks
+        self.checker_period = config.checker.clock().period_ticks
+        self.ckpt_cycles = config.main_core.checkpoint_latency_cycles
+        self.ideal = config.detection.ideal_checkers
+        self.use_lfu = config.detection.load_forwarding_unit
+
+        self.arch = ArchStateTracker()
+        self.lfu = LoadForwardingUnit(config.main_core.rob_entries)
+        self.builder = SegmentBuilder(
+            capacity=config.detection.segment_entries(num_cores),
+            timeout=config.detection.instruction_timeout,
+            num_slots=num_cores,
+            first_checkpoint=self.arch.snapshot(program.entry),
+        )
+        self.segment_checker = SegmentChecker(
+            program, checker_faults=checker_faults)
+        self.icaches = CheckerICaches(config.checker)
+        self.core_models = [
+            InOrderCoreModel(config.checker, self.icaches, core_id)
+            for core_id in range(num_cores)
+        ]
+        #: absolute tick each log slot (and its checker core) frees up
+        self.slot_free_tick = [0] * num_cores
+        #: pending first-commit gate after a segment closure
+        self._commit_gate_tick = 0
+
+        self._checkpoint_faults = {
+            f.seq: f for f in (checkpoint_faults or ())
+            if f.site is FaultSite.CHECKPOINT
+        }
+        self._interrupts = sorted(interrupt_seqs or [])
+        self._next_interrupt = 0
+        self._last_next_pc = program.entry
+
+        self.report = DetectionReport(
+            closes_by_reason={r.value: 0 for r in CloseReason},
+            checker_busy_ticks=[0] * num_cores,
+        )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _take_checkpoint(self, pc: int) -> RegisterCheckpoint:
+        ckpt = self.arch.snapshot(pc)
+        fault = self._checkpoint_faults.get(ckpt.index)
+        if fault is not None:
+            ckpt = ckpt.with_bit_flip(fault.reg, fault.bit)
+        self.report.checkpoints_taken += 1
+        return ckpt
+
+    # -- CommitHook interface ---------------------------------------------------
+
+    def pre_commit(self, dyn: DynInstr, earliest_cycle: int) -> int:
+        builder = self.builder
+        entry_count = len(dyn.mem)
+
+        if entry_count and builder.will_overflow(entry_count):
+            # macro-op rule: close at the boundary *before* this instruction;
+            # its entries all go into the next segment (§IV-D)
+            close_tick = earliest_cycle * self.main_period
+            closed = builder.close(
+                CloseReason.FULL, self._take_checkpoint(dyn.pc),
+                end_seq=dyn.seq, close_tick=close_tick)
+            self._dispatch(closed, close_tick)
+            earliest_cycle += self.ckpt_cycles
+            self.report.checkpoint_stall_cycles += self.ckpt_cycles
+            self._arm_commit_gate()
+
+        if self._commit_gate_tick:
+            # first commit into a freshly opened segment: its slot must have
+            # been released by the checker of its previous occupant
+            gate_cycle = -(-self._commit_gate_tick // self.main_period)
+            if gate_cycle > earliest_cycle:
+                self.report.log_full_stall_cycles += gate_cycle - earliest_cycle
+                earliest_cycle = gate_cycle
+            self._commit_gate_tick = 0
+
+        return earliest_cycle
+
+    def post_commit(self, dyn: DynInstr, commit_cycle: int) -> int:
+        builder = self.builder
+        commit_tick = commit_cycle * self.main_period
+        self.arch.apply(dyn)
+        self._last_next_pc = dyn.next_pc
+
+        if dyn.mem:
+            builder.append(self._log_entries(dyn, commit_tick))
+        builder.count_instruction()
+
+        reason: CloseReason | None = None
+        if builder.is_full():
+            reason = CloseReason.FULL
+        elif builder.timeout_reached():
+            reason = CloseReason.TIMEOUT
+        elif (self._next_interrupt < len(self._interrupts)
+                and self._interrupts[self._next_interrupt] <= dyn.seq):
+            self._next_interrupt += 1
+            reason = CloseReason.INTERRUPT
+
+        if reason is None:
+            return 0
+
+        closed = builder.close(
+            reason, self._take_checkpoint(dyn.next_pc),
+            end_seq=dyn.seq + 1, close_tick=commit_tick)
+        self._dispatch(closed, commit_tick)
+        self.report.checkpoint_stall_cycles += self.ckpt_cycles
+        self._arm_commit_gate()
+        return self.ckpt_cycles
+
+    def finish(self, last_commit_cycle: int) -> int:
+        builder = self.builder
+        final_tick = last_commit_cycle * self.main_period
+        current = builder.current
+        if current.instr_count or current.entries:
+            closed = builder.close(
+                CloseReason.TERMINATION, self._take_checkpoint(self._last_next_pc),
+                end_seq=current.start_seq + current.instr_count,
+                close_tick=final_tick)
+            self._dispatch(closed, final_tick)
+            self.report.checkpoint_stall_cycles += self.ckpt_cycles
+        for reason, count in builder.closes_by_reason.items():
+            self.report.closes_by_reason[reason.value] = count
+        done = max([final_tick] + self.slot_free_tick)
+        self.report.all_checks_done_tick = done
+        # the program's termination is held back until every outstanding
+        # check completes (§IV-H)
+        return -(-done // self.main_period)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _arm_commit_gate(self) -> None:
+        slot = self.builder.current.slot
+        if self.slot_free_tick[slot] > 0:
+            self._commit_gate_tick = self.slot_free_tick[slot]
+
+    def _log_entries(self, dyn: DynInstr, commit_tick: int) -> list[LogEntry]:
+        entries = []
+        for memop in dyn.mem:
+            if memop.kind == LOAD:
+                if self.use_lfu:
+                    # duplicated at access, forwarded at commit (§IV-C)
+                    self.lfu.capture(dyn.seq, memop.addr, memop.value)
+                    addr, value = self.lfu.forward_at_commit(dyn.seq)
+                else:
+                    # ablation: commit-time forwarding from the register
+                    # file re-opens the window of vulnerability
+                    addr, value = memop.addr, memop.used_value
+                entries.append(LogEntry(LOAD, addr, value, commit_tick))
+            elif memop.kind == STORE:
+                entries.append(LogEntry(STORE, memop.addr, memop.value,
+                                        commit_tick))
+            else:
+                entries.append(LogEntry(NONDET, 0, memop.value, commit_tick))
+        return entries
+
+    def _dispatch(self, segment: Segment, close_tick: int) -> None:
+        """Hand a closed segment to its checker core."""
+        slot = segment.slot
+        checkpoint_done = close_tick + self.ckpt_cycles * self.main_period
+        if self.ideal:
+            # Figure 10 mode: infinitely fast checkers — the only cost left
+            # is the checkpoint machinery itself
+            self.slot_free_tick[slot] = checkpoint_done
+            self.report.segments_checked += 1
+            return
+
+        result = self.segment_checker.check(segment)
+        start = max(checkpoint_done, self.slot_free_tick[slot])
+        # align to the checker's clock edge
+        start = -(-start // self.checker_period) * self.checker_period
+        # the in-order model runs in the checker clock's absolute time so
+        # its I-cache state (in-flight fills, MSHRs) stays coherent across
+        # segments
+        timing = self.core_models[slot].run_segment(
+            result.steps, self.metas, start_cycle=start // self.checker_period)
+        finish = start + timing.total_cycles * self.checker_period
+        self.slot_free_tick[slot] = finish
+        self.report.checker_busy_ticks[slot] += finish - start
+        self.report.segments_checked += 1
+        self.report.entries_checked += result.entries_checked
+
+        delays = self.report.delays_ns
+        checked = min(result.entries_checked, len(timing.entry_check_cycles),
+                      len(segment.entries))
+        for i in range(checked):
+            check_tick = start + timing.entry_check_cycles[i] * self.checker_period
+            delays.add(ticks_to_ns(check_tick - segment.entries[i].commit_tick))
+
+        if not result.ok:
+            for error in result.errors:
+                if (error.entry_index is not None
+                        and error.entry_index < len(timing.entry_check_cycles)):
+                    tick = start + (timing.entry_check_cycles[error.entry_index]
+                                    * self.checker_period)
+                else:
+                    tick = finish
+                self.report.events.append(DetectionEvent(
+                    error=error, detect_tick=tick,
+                    segment_close_tick=close_tick))
+
+
+@dataclass
+class DetectionRunResult:
+    """A full protected run: core timing + detection report."""
+
+    core: CoreResult
+    report: DetectionReport
+
+    @property
+    def main_cycles(self) -> int:
+        return self.core.cycles
+
+    @property
+    def system_cycles(self) -> int:
+        return self.core.system_cycles
+
+
+def run_unprotected(trace: Trace, config: SystemConfig) -> CoreResult:
+    """Time ``trace`` on a bare main core (the normalisation baseline)."""
+    return OoOCore(config).run(trace)
+
+
+def run_with_detection(
+    trace: Trace,
+    config: SystemConfig,
+    checkpoint_faults: list[TransientFault] | None = None,
+    checker_faults: list[TransientFault] | None = None,
+    interrupt_seqs: list[int] | None = None,
+) -> DetectionRunResult:
+    """Time ``trace`` on a main core with parallel error detection attached.
+
+    Fault injection into the *main core's execution* happens earlier, when
+    the trace is produced (``execute_program(program, fault_injector=...)``);
+    checkpoint/checker faults and interrupt arrivals are modelled here.
+    """
+    hook = ParallelErrorDetection(
+        config, trace.program,
+        checkpoint_faults=checkpoint_faults,
+        checker_faults=checker_faults,
+        interrupt_seqs=interrupt_seqs,
+    )
+    core_result = OoOCore(config).run(trace, hook=hook)
+    return DetectionRunResult(core=core_result, report=hook.report)

@@ -1,0 +1,49 @@
+"""Experiment harness: runners, sweeps, and per-figure entry points."""
+
+from repro.harness.experiment import (
+    ExperimentRunner,
+    RunSummary,
+    bench_scale,
+    default_runner,
+)
+from repro.harness.figures import (
+    CORE_SWEEP,
+    FREQUENCIES_MHZ,
+    LOG_SWEEP,
+    LOG_SWEEP_FIG12,
+    fig1_comparison,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sec6b_area,
+    sec6c_power,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "CORE_SWEEP",
+    "ExperimentRunner",
+    "FREQUENCIES_MHZ",
+    "LOG_SWEEP",
+    "LOG_SWEEP_FIG12",
+    "RunSummary",
+    "bench_scale",
+    "default_runner",
+    "fig1_comparison",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "sec6b_area",
+    "sec6c_power",
+    "table1",
+    "table2",
+]

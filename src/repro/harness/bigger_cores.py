@@ -1,0 +1,95 @@
+"""§VI-D: scaling to bigger main cores.
+
+The paper argues the scheme extends *favourably* to more aggressive main
+cores: single-thread performance grows sublinearly with core size, while
+checking throughput scales linearly with the number of checker cores —
+so the relative overheads of detection shrink as the protected core grows.
+
+This experiment builds three main-core aggressiveness tiers, finds the
+checker-core count that keeps slowdown under a threshold for each, and
+evaluates the area overhead relative to an area model where the main
+core's area grows roughly quadratically with width (the classic OoO
+scaling rule the paper's argument rests on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.area import NODE_SCALE_40_TO_20, ROCKET_AREA_MM2_40NM, \
+    A57_AREA_MM2_20NM
+from repro.common.config import SystemConfig, default_config
+from repro.detection.system import run_unprotected, run_with_detection
+from repro.isa.executor import Trace
+
+#: Main-core tiers: (name, width, ROB, IQ, LQ/SQ, int ALUs, fp ALUs)
+CORE_TIERS: list[tuple[str, int, int, int, int, int, int]] = [
+    ("baseline-3wide", 3, 40, 32, 16, 3, 2),
+    ("big-4wide", 4, 96, 48, 24, 4, 3),
+    ("huge-6wide", 6, 192, 64, 32, 6, 4),
+]
+
+
+def tier_config(tier: tuple, num_checkers: int) -> SystemConfig:
+    """A SystemConfig for one main-core tier with ``num_checkers``."""
+    _name, width, rob, iq, lsq, int_alus, fp_alus = tier
+    base = default_config()
+    main = replace(
+        base.main_core,
+        fetch_width=width, commit_width=width, rob_entries=rob,
+        iq_entries=iq, lq_entries=lsq, sq_entries=lsq,
+        int_alus=int_alus, fp_alus=fp_alus,
+    )
+    # keep per-checker segment size constant: the log grows with checkers
+    log_bytes = base.detection.segment_bytes(12) * num_checkers
+    cfg = replace(base, main_core=main)
+    cfg = cfg.with_checker_cores(num_checkers).with_log(
+        log_bytes, base.detection.instruction_timeout)
+    return cfg.validate()
+
+
+def main_core_area_mm2(width: int) -> float:
+    """OoO core area grows ~quadratically with issue width (wakeup/select
+    and bypass networks): normalised to the A57-class 3-wide point."""
+    return A57_AREA_MM2_20NM * (width / 3.0) ** 2
+
+
+@dataclass(frozen=True)
+class TierResult:
+    """Outcome of sizing detection hardware for one core tier."""
+
+    name: str
+    width: int
+    checkers_needed: int
+    slowdown: float
+    main_core_mm2: float
+    checker_mm2: float
+
+    @property
+    def area_overhead(self) -> float:
+        return self.checker_mm2 / self.main_core_mm2
+
+
+def size_tier(trace: Trace, tier: tuple, max_slowdown: float = 1.06,
+              candidates: tuple[int, ...] = (6, 12, 18, 24)) -> TierResult:
+    """Find the smallest checker count keeping ``trace`` under budget."""
+    name, width = tier[0], tier[1]
+    chosen = candidates[-1]
+    slowdown = float("inf")
+    base = run_unprotected(trace, tier_config(tier, 12))
+    for count in candidates:
+        cfg = tier_config(tier, count)
+        det = run_with_detection(trace, cfg)
+        slow = det.main_cycles / base.cycles
+        if slow <= max_slowdown:
+            chosen, slowdown = count, slow
+            break
+    else:
+        cfg = tier_config(tier, chosen)
+        det = run_with_detection(trace, cfg)
+        slowdown = det.main_cycles / base.cycles
+    checker_area = chosen * ROCKET_AREA_MM2_40NM * NODE_SCALE_40_TO_20
+    return TierResult(
+        name=name, width=width, checkers_needed=chosen, slowdown=slowdown,
+        main_core_mm2=main_core_area_mm2(width), checker_mm2=checker_area,
+    )

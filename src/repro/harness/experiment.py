@@ -1,0 +1,119 @@
+"""Experiment runner with memoised traces and timing runs.
+
+The parameter sweeps of §VI-A re-time the same committed trace under many
+configurations (checker frequency, log geometry, core counts).  The runner
+caches:
+
+* the functional **trace** per (benchmark, scale) — via the suite registry;
+* the **unprotected baseline** per benchmark — the denominators of every
+  normalised figure;
+* each **detection run** per (benchmark, configuration) — Figure 9 and
+  Figure 11 are two views of the same runs, so the second figure is free.
+
+Configurations are frozen dataclasses and hash by value, so equal-valued
+configs constructed independently share cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig, default_config
+from repro.core.ooo_core import CoreResult
+from repro.detection.system import (
+    DetectionRunResult,
+    run_unprotected,
+    run_with_detection,
+)
+from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace
+
+#: environment knob: REPRO_BENCH_SCALE=small shrinks every workload for
+#: quick smoke runs of the benchmark harness.
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale() -> str:
+    """The workload scale the benchmark harness should use."""
+    return os.environ.get(SCALE_ENV_VAR, "default")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One benchmark × configuration data point."""
+
+    benchmark: str
+    slowdown: float
+    mean_delay_ns: float
+    max_delay_ns: float
+    base_cycles: int
+    det_cycles: int
+
+
+class ExperimentRunner:
+    """Caches baselines and detection runs across figure regenerations."""
+
+    def __init__(self, scale: str | None = None,
+                 config: SystemConfig | None = None) -> None:
+        self.scale = scale if scale is not None else bench_scale()
+        self.default_cfg = config if config is not None else default_config()
+        self._baselines: dict[str, CoreResult] = {}
+        self._runs: dict[tuple[str, SystemConfig], DetectionRunResult] = {}
+
+    # -- primitives -----------------------------------------------------------
+
+    def baseline(self, benchmark: str) -> CoreResult:
+        """Unprotected main-core timing (cached)."""
+        if benchmark not in self._baselines:
+            trace = benchmark_trace(benchmark, self.scale)
+            self._baselines[benchmark] = run_unprotected(trace, self.default_cfg)
+        return self._baselines[benchmark]
+
+    def detection(self, benchmark: str,
+                  config: SystemConfig | None = None) -> DetectionRunResult:
+        """Detection-attached timing (cached per benchmark × config)."""
+        cfg = config if config is not None else self.default_cfg
+        key = (benchmark, cfg)
+        if key not in self._runs:
+            trace = benchmark_trace(benchmark, self.scale)
+            self._runs[key] = run_with_detection(trace, cfg)
+        return self._runs[key]
+
+    # -- derived ---------------------------------------------------------------
+
+    def summary(self, benchmark: str,
+                config: SystemConfig | None = None) -> RunSummary:
+        base = self.baseline(benchmark)
+        det = self.detection(benchmark, config)
+        return RunSummary(
+            benchmark=benchmark,
+            slowdown=det.main_cycles / base.cycles,
+            mean_delay_ns=det.report.mean_delay_ns(),
+            max_delay_ns=det.report.max_delay_ns(),
+            base_cycles=base.cycles,
+            det_cycles=det.main_cycles,
+        )
+
+    def sweep(self, configs: list[SystemConfig],
+              benchmarks: list[str] | None = None,
+              ) -> dict[str, list[RunSummary]]:
+        """Run every benchmark under every configuration.
+
+        Returns ``{benchmark: [summary per config, in order]}``.
+        """
+        names = benchmarks if benchmarks is not None else list(BENCHMARK_ORDER)
+        return {
+            name: [self.summary(name, cfg) for cfg in configs]
+            for name in names
+        }
+
+
+_DEFAULT_RUNNER: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """A process-wide shared runner, so figure benchmarks share runs."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None or _DEFAULT_RUNNER.scale != bench_scale():
+        _DEFAULT_RUNNER = ExperimentRunner()
+    return _DEFAULT_RUNNER

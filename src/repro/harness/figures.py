@@ -1,0 +1,306 @@
+"""One entry point per paper table/figure (the experiment index of
+DESIGN.md §5).
+
+Each ``figNN`` function runs the experiment through a shared
+:class:`~repro.harness.experiment.ExperimentRunner` and returns
+``(text, data)``: a paper-style plain-text rendering plus the raw series
+for programmatic checks.  The ``benchmarks/`` directory wraps these in
+pytest-benchmark entries; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import area_model
+from repro.analysis.delay import density_series, summarize_delays
+from repro.analysis.power import energy_overhead_per_run, power_model
+from repro.analysis.report import (
+    delay_table,
+    format_table,
+    series_block,
+    slowdown_table,
+)
+from repro.baselines.lockstep import run_lockstep
+from repro.baselines.rmt import run_rmt
+from repro.common.config import SystemConfig, default_config, table1_rows
+from repro.harness.experiment import ExperimentRunner, default_runner
+from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace, table2_rows
+
+#: Figure 9/11 checker-frequency sweep (MHz).
+FREQUENCIES_MHZ = [125, 250, 500, 1000, 2000]
+
+#: Figures 10/12 log-size / timeout sweep: (label, log bytes, timeout).
+LOG_SWEEP: list[tuple[str, int, int | None]] = [
+    ("3.6KiB/500", int(3.6 * 1024), 500),
+    ("36KiB/5000", 36 * 1024, 5000),
+    ("360KiB/50000", 360 * 1024, 50_000),
+    ("360KiB/inf", 360 * 1024, None),
+]
+
+#: Figure 12 adds the 36 KiB log with no timeout (the bitcount blow-up).
+LOG_SWEEP_FIG12 = LOG_SWEEP + [("36KiB/inf", 36 * 1024, None)]
+
+#: Figure 13 core-count/frequency pairs.
+CORE_SWEEP: list[tuple[str, int, float]] = [
+    ("3c/1GHz", 3, 1000.0),
+    ("12c/250MHz", 12, 250.0),
+    ("6c/1GHz", 6, 1000.0),
+    ("12c/500MHz", 12, 500.0),
+    ("12c/1GHz", 12, 1000.0),
+]
+
+
+def _runner(runner: ExperimentRunner | None) -> ExperimentRunner:
+    return runner if runner is not None else default_runner()
+
+
+# -- configuration tables ---------------------------------------------------------
+
+def table1() -> tuple[str, list[tuple[str, str]]]:
+    """Table I: the experimental setup."""
+    rows = table1_rows()
+    text = format_table("Table I: core and memory experimental setup",
+                        ["parameter", "value"],
+                        [[k, v] for k, v in rows])
+    return text, rows
+
+
+def table2() -> tuple[str, list[tuple[str, str, str]]]:
+    """Table II: the benchmark suite."""
+    rows = table2_rows()
+    text = format_table("Table II: benchmarks evaluated",
+                        ["benchmark", "source", "input"],
+                        [list(r) for r in rows])
+    return text, rows
+
+
+# -- headline figures ---------------------------------------------------------------
+
+def fig7(runner: ExperimentRunner | None = None
+         ) -> tuple[str, dict[str, float]]:
+    """Figure 7: normalised slowdown at Table I defaults."""
+    r = _runner(runner)
+    data = {name: r.summary(name).slowdown for name in BENCHMARK_ORDER}
+    text = slowdown_table(
+        "Figure 7: normalised slowdown, default configuration "
+        "(paper: mean 1.75%, max 3.4%)",
+        ["slowdown"], {k: [v] for k, v in data.items()}, BENCHMARK_ORDER)
+    return text, data
+
+
+def fig8(runner: ExperimentRunner | None = None, bins: int = 25,
+         ) -> tuple[str, dict[str, list[tuple[float, float]]]]:
+    """Figure 8: detection-delay density at defaults."""
+    r = _runner(runner)
+    series = {}
+    summaries = []
+    for name in BENCHMARK_ORDER:
+        det = r.detection(name)
+        series[name] = density_series(det.report.delays_ns, bins=bins)
+        summaries.append(summarize_delays(name, det.report.delays_ns))
+    from repro.analysis.plot import ascii_density
+    text = series_block(
+        "Figure 8: detection-delay density, default configuration",
+        series, "delay ns", "density")
+    shape = ascii_density(series)
+    coverage = "\n".join(
+        f"  {s.benchmark:<14} mean={s.mean_ns:7.0f}ns "
+        f"p99.9={s.p999_ns:7.0f}ns max={s.max_ns:8.0f}ns "
+        f"within-5us={100 * s.fraction_within_5us:5.1f}%"
+        for s in summaries)
+    return (text + "\n\ndistribution shapes (per-benchmark, peak-"
+            "normalised):\n" + shape + "\n\ncoverage summary:\n"
+            + coverage), series
+
+
+def fig9(runner: ExperimentRunner | None = None
+         ) -> tuple[str, dict[str, list[float]]]:
+    """Figure 9: slowdown vs checker-core frequency."""
+    r = _runner(runner)
+    configs = [r.default_cfg.with_checker_freq(mhz) for mhz in FREQUENCIES_MHZ]
+    sweep = r.sweep(configs)
+    data = {name: [s.slowdown for s in rows] for name, rows in sweep.items()}
+    text = slowdown_table(
+        "Figure 9: normalised slowdown vs checker frequency "
+        "(paper: memory-bound flat, compute-bound up to ~4.5x at 125MHz)",
+        [f"{mhz}MHz" for mhz in FREQUENCIES_MHZ], data, BENCHMARK_ORDER)
+    return text, data
+
+
+def fig10(runner: ExperimentRunner | None = None
+          ) -> tuple[str, dict[str, list[float]]]:
+    """Figure 10: checkpoint-only slowdown vs log size / timeout
+    (ideal checkers — isolates the checkpointing cost)."""
+    r = _runner(runner)
+    configs = [
+        r.default_cfg.with_log(log_bytes, timeout).with_ideal_checkers()
+        for _label, log_bytes, timeout in LOG_SWEEP
+    ]
+    sweep = r.sweep(configs)
+    data = {name: [s.slowdown for s in rows] for name, rows in sweep.items()}
+    text = slowdown_table(
+        "Figure 10: slowdown from checkpointing alone vs log size/timeout "
+        "(paper: <=2% at 36KiB, up to 15% at 3.6KiB)",
+        [label for label, _b, _t in LOG_SWEEP], data, BENCHMARK_ORDER)
+    return text, data
+
+
+def _delay_sweep(runner: ExperimentRunner, configs: list[SystemConfig],
+                 labels: list[str], stat: str, title: str,
+                 ) -> tuple[str, dict[str, list[float]]]:
+    sweep = runner.sweep(configs)
+    attr = "mean_delay_ns" if stat == "mean" else "max_delay_ns"
+    data = {
+        name: [getattr(s, attr) for s in rows] for name, rows in sweep.items()
+    }
+    return delay_table(title, labels, data, BENCHMARK_ORDER), data
+
+
+def fig11(runner: ExperimentRunner | None = None
+          ) -> tuple[str, dict[str, dict[str, list[float]]]]:
+    """Figure 11: mean (a) and max (b) detection delay vs checker frequency."""
+    r = _runner(runner)
+    configs = [r.default_cfg.with_checker_freq(mhz) for mhz in FREQUENCIES_MHZ]
+    labels = [f"{mhz}MHz" for mhz in FREQUENCIES_MHZ]
+    text_a, mean_data = _delay_sweep(
+        r, configs, labels, "mean",
+        "Figure 11(a): mean detection delay vs checker frequency "
+        "(paper: ~halves per frequency doubling)")
+    text_b, max_data = _delay_sweep(
+        r, configs, labels, "max",
+        "Figure 11(b): max detection delay vs checker frequency")
+    return text_a + "\n\n" + text_b, {"mean": mean_data, "max": max_data}
+
+
+def fig12(runner: ExperimentRunner | None = None
+          ) -> tuple[str, dict[str, dict[str, list[float]]]]:
+    """Figure 12: mean (a) and max (b) detection delay vs log size/timeout."""
+    r = _runner(runner)
+    configs = [
+        r.default_cfg.with_log(log_bytes, timeout)
+        for _label, log_bytes, timeout in LOG_SWEEP_FIG12
+    ]
+    labels = [label for label, _b, _t in LOG_SWEEP_FIG12]
+    text_a, mean_data = _delay_sweep(
+        r, configs, labels, "mean",
+        "Figure 12(a): mean detection delay vs log size/timeout "
+        "(paper: scales ~linearly with log size)")
+    text_b, max_data = _delay_sweep(
+        r, configs, labels, "max",
+        "Figure 12(b): max detection delay vs log size/timeout "
+        "(paper: timeout cuts bitcount's max by ~250x)")
+    return text_a + "\n\n" + text_b, {"mean": mean_data, "max": max_data}
+
+
+def fig13(runner: ExperimentRunner | None = None
+          ) -> tuple[str, dict[str, list[float]]]:
+    """Figure 13: slowdown across checker-core count/frequency pairs."""
+    r = _runner(runner)
+    configs = [
+        r.default_cfg.with_checker_cores(cores).with_checker_freq(mhz)
+        for _label, cores, mhz in CORE_SWEEP
+    ]
+    sweep = r.sweep(configs)
+    data = {name: [s.slowdown for s in rows] for name, rows in sweep.items()}
+    text = slowdown_table(
+        "Figure 13: slowdown vs checker core count/frequency "
+        "(paper: N cores at f ~ 2N cores at f/2; more slower cores win)",
+        [label for label, _c, _m in CORE_SWEEP], data, BENCHMARK_ORDER)
+    return text, data
+
+
+def fig1_comparison(runner: ExperimentRunner | None = None,
+                    benchmarks: list[str] | None = None,
+                    ) -> tuple[str, dict[str, dict[str, float]]]:
+    """Figure 1(d): lockstep vs RMT vs this scheme, measured."""
+    r = _runner(runner)
+    # one memory-bound and two compute-bound benchmarks: RMT's bandwidth
+    # sharing only bites where there is ILP to lose, and Figure 1's point
+    # is precisely that contrast
+    names = benchmarks if benchmarks is not None else [
+        "stream", "bitcount", "swaptions"]
+    area = area_model(r.default_cfg)
+    power = power_model(r.default_cfg)
+
+    slow_ls, slow_rmt, slow_ours = [], [], []
+    for name in names:
+        trace = benchmark_trace(name, r.scale)
+        base = r.baseline(name)
+        slow_ls.append(run_lockstep(trace, r.default_cfg).cycles / base.cycles)
+        slow_rmt.append(run_rmt(trace, r.default_cfg).cycles / base.cycles)
+        slow_ours.append(r.summary(name).slowdown)
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    data = {
+        "lockstep": {"slowdown": mean(slow_ls), "area": 1.0, "energy": 1.0},
+        "rmt": {"slowdown": mean(slow_rmt), "area": 0.05,
+                "energy": 0.90},
+        "ours": {
+            "slowdown": mean(slow_ours),
+            "area": area.overhead_vs_core,
+            "energy": energy_overhead_per_run(mean(slow_ours), power.overhead),
+        },
+    }
+    rows = [
+        [scheme,
+         f"{vals['slowdown']:.3f}",
+         f"{100 * vals['area']:.0f}%",
+         f"{100 * vals['energy']:.0f}%"]
+        for scheme, vals in data.items()
+    ]
+    text = format_table(
+        "Figure 1(d): scheme comparison "
+        f"(measured over {', '.join(names)})",
+        ["scheme", "slowdown", "area overhead", "energy overhead"], rows)
+    return text, data
+
+
+def sec6b_area(config: SystemConfig | None = None
+               ) -> tuple[str, dict[str, float]]:
+    """§VI-B: the area-overhead model."""
+    cfg = config if config is not None else default_config()
+    a = area_model(cfg)
+    data = {
+        "main_core_mm2": a.main_core_mm2,
+        "checker_cores_mm2": a.checker_cores_mm2,
+        "sram_added_mm2": a.sram_added_mm2,
+        "added_sram_kib": a.added_sram_kib,
+        "overhead_vs_core": a.overhead_vs_core,
+        "overhead_vs_core_with_l2": a.overhead_vs_core_with_l2,
+    }
+    rows = [
+        ["main core (A57-class, 20nm)", f"{a.main_core_mm2:.2f} mm2"],
+        [f"{cfg.checker.num_cores} checker cores (Rocket-class)",
+         f"{a.checker_cores_mm2:.2f} mm2"],
+        [f"added SRAM ({a.added_sram_kib:.0f} KiB)",
+         f"{a.sram_added_mm2:.3f} mm2"],
+        ["overhead vs core (paper ~24%)",
+         f"{100 * a.overhead_vs_core:.1f}%"],
+        ["overhead incl 1MiB L2 (paper ~16%)",
+         f"{100 * a.overhead_vs_core_with_l2:.1f}%"],
+        ["dual-core lockstep", "100%"],
+    ]
+    return format_table("Section VI-B: area overhead",
+                        ["item", "value"], rows), data
+
+
+def sec6c_power(config: SystemConfig | None = None
+                ) -> tuple[str, dict[str, float]]:
+    """§VI-C: the power-overhead model."""
+    cfg = config if config is not None else default_config()
+    p = power_model(cfg)
+    data = {
+        "main_core_mw": p.main_core_mw,
+        "checker_cores_mw": p.checker_cores_mw,
+        "overhead": p.overhead,
+    }
+    rows = [
+        ["main core", f"{p.main_core_mw:.0f} mW"],
+        [f"{cfg.checker.num_cores} checker cores",
+         f"{p.checker_cores_mw:.0f} mW"],
+        ["overhead (paper ~16%, upper bound)", f"{100 * p.overhead:.1f}%"],
+        ["dual-core lockstep", "100%"],
+    ]
+    return format_table("Section VI-C: power overhead",
+                        ["item", "value"], rows), data

@@ -1,0 +1,216 @@
+"""A small two-pass assembler for hand-written programs.
+
+Syntax example::
+
+    .name vecsum
+    .data
+    .word  0x10000000 = 1 2 3 4
+    .float 0x10000020 = 0.5 1.5
+    .text
+        MOVI x1, 0x10000000
+        MOVI x2, 0            # running sum
+        MOVI x3, 0            # index
+    loop:
+        LD   x4, 0(x1)
+        ADD  x2, x2, x4
+        ADDI x1, x1, 8
+        ADDI x3, x3, 1
+        SLTI x5, x3, 4
+        BNE  x5, x0, loop
+        HALT
+
+Comments start with ``#`` or ``;``.  Registers are ``x0``-``x31`` (integer,
+``x0`` reads as zero) and ``f0``-``f31`` (double-precision FP).  Memory
+operands use the ``offset(base)`` form.  Branch targets are labels.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import NUM_FP_REGS, NUM_INT_REGS, Opcode
+from repro.isa.program import Program, ProgramBuilder, signature
+
+_REGISTER_RE = re.compile(r"^([xf])(\d+)$")
+_MEMREF_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\(([xf]\d+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def field_space(op: Opcode, letter: str) -> str:
+    """Which register file ('x' or 'f') operand ``letter`` of ``op`` uses."""
+    name = op.value
+    if op is Opcode.FLD:
+        return "f" if letter in ("d", "D") else "x"
+    if op is Opcode.FST:
+        return "f" if letter in ("b", "c") else "x"
+    if op is Opcode.FCVT_I2F:
+        return "f" if letter == "d" else "x"
+    if op is Opcode.FCVT_F2I:
+        return "x" if letter == "d" else "f"
+    if op in (Opcode.FCMPLT, Opcode.FCMPLE, Opcode.FCMPEQ):
+        return "x" if letter == "d" else "f"
+    if name.startswith("F"):
+        return "f"
+    return "x"
+
+
+def _parse_int(token: str, where: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"{where}: bad integer {token!r}") from exc
+
+
+def _parse_imm(token: str, op: Opcode, where: str) -> int | float:
+    if op is Opcode.FMOVI:
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise AssemblyError(f"{where}: bad float immediate {token!r}") from exc
+    return _parse_int(token, where)
+
+
+def _parse_register(token: str, expected_space: str, where: str) -> int:
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblyError(f"{where}: expected register, got {token!r}")
+    space, index = match.group(1), int(match.group(2))
+    if space != expected_space:
+        raise AssemblyError(
+            f"{where}: expected {expected_space!r}-register, got {token!r}")
+    limit = NUM_INT_REGS if space == "x" else NUM_FP_REGS
+    if index >= limit:
+        raise AssemblyError(f"{where}: register {token!r} out of range")
+    return index
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()] if rest else []
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    builder: ProgramBuilder | None = None
+    program_name = name
+    pending: list[tuple[str, int, str, str]] = []  # (kind, lineno, head, rest)
+    data_directives: list[tuple[int, str, str]] = []
+    in_text = True
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            head, _, rest = line.partition(" ")
+            directive = head.lower()
+            if directive == ".name":
+                program_name = rest.strip() or program_name
+            elif directive == ".data":
+                in_text = False
+            elif directive == ".text":
+                in_text = True
+            elif directive in (".word", ".float"):
+                data_directives.append((lineno, directive, rest.strip()))
+            else:
+                raise AssemblyError(f"line {lineno}: unknown directive {head!r}")
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            pending.append(("label", lineno, label_match.group(1), ""))
+            continue
+        if not in_text:
+            raise AssemblyError(f"line {lineno}: instruction outside .text")
+        head, _, rest = line.partition(" ")
+        pending.append(("instr", lineno, head.upper(), rest.strip()))
+
+    builder = ProgramBuilder(program_name)
+
+    for lineno, directive, rest in data_directives:
+        where = f"line {lineno}"
+        if "=" not in rest:
+            raise AssemblyError(f"{where}: expected 'addr = values'")
+        addr_part, _, values_part = rest.partition("=")
+        addr = _parse_int(addr_part.strip(), where)
+        tokens = values_part.split()
+        if not tokens:
+            raise AssemblyError(f"{where}: no values given")
+        for offset, token in enumerate(tokens):
+            if directive == ".word":
+                builder.put_word(addr + offset * 8, _parse_int(token, where))
+            else:
+                try:
+                    builder.put_float(addr + offset * 8, float(token))
+                except ValueError as exc:
+                    raise AssemblyError(f"{where}: bad float {token!r}") from exc
+
+    for kind, lineno, head, rest in pending:
+        where = f"line {lineno}"
+        if kind == "label":
+            try:
+                builder.label(head)
+            except AssemblyError as exc:
+                raise AssemblyError(f"{where}: {exc}") from exc
+            continue
+        try:
+            op = Opcode[head]
+        except KeyError as exc:
+            raise AssemblyError(f"{where}: unknown opcode {head!r}") from exc
+        operands = _split_operands(rest)
+        kwargs = _parse_operands(op, operands, where)
+        try:
+            builder.emit(op, **kwargs)
+        except AssemblyError as exc:
+            raise AssemblyError(f"{where}: {exc}") from exc
+
+    try:
+        return builder.build()
+    except AssemblyError as exc:
+        raise AssemblyError(f"assembly of {program_name!r} failed: {exc}") from exc
+
+
+def _parse_operands(op: Opcode, operands: list[str], where: str) -> dict:
+    """Map textual operands onto builder keyword arguments, per signature."""
+    sig = signature(op)
+    kwargs: dict = {}
+    field_names = {"d": "rd", "D": "rd2", "a": "rs1", "b": "rs2", "c": "rs3"}
+
+    # memory-reference forms end with "imm(base)" covering both 'a' and 'i'
+    has_memref = "a" in sig and "i" in sig and op.value in (
+        "LD", "ST", "LDP", "STP", "FLD", "FST")
+    consumed_by_memref = 2 if has_memref else 0
+    reg_letters = [c for c in sig if c in field_names]
+    if has_memref:
+        reg_letters = [c for c in reg_letters if c != "a"]
+    expected = len(reg_letters) + (1 if has_memref else 0) \
+        + (1 if "i" in sig and not has_memref else 0) \
+        + (1 if "t" in sig else 0)
+    if len(operands) != expected:
+        raise AssemblyError(
+            f"{where}: {op.value} expects {expected} operands, got {len(operands)}")
+
+    cursor = 0
+    for letter in reg_letters:
+        kwargs[field_names[letter]] = _parse_register(
+            operands[cursor], field_space(op, letter), where)
+        cursor += 1
+    if has_memref:
+        match = _MEMREF_RE.match(operands[cursor].replace(" ", ""))
+        if not match:
+            raise AssemblyError(
+                f"{where}: expected offset(base) operand, got {operands[cursor]!r}")
+        kwargs["imm"] = _parse_int(match.group(1), where)
+        kwargs["rs1"] = _parse_register(match.group(2), "x", where)
+        cursor += 1
+    elif "i" in sig:
+        kwargs["imm"] = _parse_imm(operands[cursor], op, where)
+        cursor += 1
+    if "t" in sig:
+        token = operands[cursor]
+        if _IDENT_RE.match(token):
+            kwargs["target"] = token
+        else:
+            kwargs["target"] = _parse_int(token, where)
+        cursor += 1
+    return kwargs

@@ -1,0 +1,476 @@
+"""Architectural (functional) execution.
+
+The :class:`Machine` implements the ISA semantics once, with pluggable
+*ports* for memory, so the same code executes both roles in the paper:
+
+* the **main core** run (:func:`execute_program`), which reads/writes the
+  real memory image, optionally applies a fault model, and records the
+  committed dynamic trace; and
+* the **checker replay** (:mod:`repro.detection.checker`), which plugs in
+  ports that consume the load-store log and validate against it.
+
+Integer registers hold 64-bit unsigned bit patterns; FP registers hold
+Python floats (IEEE-754 doubles).  All memory traffic is in 64-bit bit
+patterns, so FP data round-trips exactly and all comparisons the detection
+hardware performs are bit-exact, as they would be in silicon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ExecutionError
+from repro.isa.instructions import (
+    MASK64,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    Opcode,
+    to_signed,
+)
+from repro.isa.memory_image import MemoryImage, bits_to_float, float_to_bits
+from repro.isa.program import Program
+
+# MemOp kinds
+LOAD = 0
+STORE = 1
+NONDET = 2
+
+
+class MemOp:
+    """One committed memory (or non-deterministic) operation.
+
+    For loads, ``value`` is what the ECC-protected memory returned at
+    ``addr`` — exactly what the load forwarding unit duplicates — while
+    ``used_value`` is what actually reached the main core's register file
+    (different only under an injected load-value fault).  For stores both
+    fields equal the committed data.  For NONDET entries ``addr`` is zero
+    and ``value`` is the forwarded result.
+    """
+
+    __slots__ = ("kind", "addr", "value", "used_value")
+
+    def __init__(self, kind: int, addr: int, value: int, used_value: int | None = None):
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.used_value = value if used_value is None else used_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = {LOAD: "LOAD", STORE: "STORE", NONDET: "NONDET"}[self.kind]
+        return f"MemOp({kind}, addr={self.addr:#x}, value={self.value:#x})"
+
+
+class DynInstr:
+    """One committed dynamic instruction in the main-core trace."""
+
+    __slots__ = ("seq", "pc", "op", "dsts", "mem", "taken", "next_pc")
+
+    def __init__(self, seq: int, pc: int, op: Opcode,
+                 dsts: tuple, mem: tuple, taken: bool | None, next_pc: int):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        #: tuple of (is_fp, reg_index, value) writebacks
+        self.dsts = dsts
+        #: tuple of MemOp
+        self.mem = mem
+        self.taken = taken
+        self.next_pc = next_pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynInstr(seq={self.seq}, pc={self.pc}, op={self.op.value})"
+
+
+@dataclass
+class Trace:
+    """The committed execution of a program on the main core."""
+
+    program: Program
+    instructions: list[DynInstr]
+    final_xregs: list[int]
+    final_fregs: list[float]
+    memory: MemoryImage
+    halted: bool
+    #: total micro-ops (macro-ops counted by their crack factor)
+    uop_count: int = 0
+    load_count: int = 0
+    store_count: int = 0
+    #: True when an injected fault made the program trap (unaligned
+    #: access, runaway control flow): the trace ends at the last commit
+    #: and §IV-H's held-back termination applies
+    crashed: bool = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _div(a: int, b: int) -> int:
+    """RISC-V-style signed division: /0 gives all-ones, overflow wraps."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return MASK64
+    if sa == -(1 << 63) and sb == -1:
+        return a
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & MASK64
+
+
+def _rem(a: int, b: int) -> int:
+    """RISC-V-style signed remainder: %0 gives the dividend."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return a
+    if sa == -(1 << 63) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & MASK64
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.inf if (a > 0) == (math.copysign(1.0, b) > 0) else -math.inf
+    return a / b
+
+
+def _fsqrt(a: float) -> float:
+    return math.sqrt(a) if a >= 0.0 else math.nan
+
+
+def _f2i(a: float) -> int:
+    if math.isnan(a):
+        return 0
+    if a >= 2.0**63:
+        return (1 << 63) - 1
+    if a <= -(2.0**63):
+        return 1 << 63  # -2^63 as unsigned
+    return int(a) & MASK64
+
+
+class Machine:
+    """An architectural interpreter over a :class:`Program`.
+
+    Ports (all optional, defaulting to direct memory access):
+
+    ``load_port(addr) -> (addr_used, bits)``
+        Perform a load; returns the address actually accessed (fault
+        injection may perturb it) and the 64-bit bit pattern read.
+    ``store_port(addr, value) -> (addr_used, value_used)``
+        Perform a store; returns what was actually committed.
+    ``nondet_port(op) -> int``
+        Produce the result of RDRAND/RDCYCLE.
+
+    The detection checker substitutes ports that read and validate the
+    load-store log instead of touching memory; the fault injector wraps
+    the default ports to model store-queue and AGU corruption.
+    """
+
+    __slots__ = (
+        "program", "memory", "xregs", "fregs", "pc", "halted",
+        "instr_count", "load_port", "store_port", "nondet_port",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage | None = None,
+        load_port: Callable[[int], int] | None = None,
+        store_port: Callable[[int, int], None] | None = None,
+        nondet_port: Callable[[Opcode], int] | None = None,
+        pc: int | None = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else program.initial_memory()
+        self.xregs = [0] * NUM_INT_REGS
+        self.fregs = [0.0] * NUM_FP_REGS
+        self.pc = program.entry if pc is None else pc
+        self.halted = False
+        self.instr_count = 0
+        self.load_port = load_port if load_port is not None else self._memory_load
+        self.store_port = store_port if store_port is not None else self._memory_store
+        self.nondet_port = nondet_port if nondet_port is not None else self._default_nondet
+
+    def _memory_load(self, addr: int) -> tuple[int, int]:
+        return addr, self.memory.load(addr)
+
+    def _memory_store(self, addr: int, value: int) -> tuple[int, int]:
+        self.memory.store(addr, value)
+        return addr, value
+
+    def _default_nondet(self, op: Opcode) -> int:
+        if op is Opcode.RDCYCLE:
+            return self.instr_count & MASK64
+        # a cheap deterministic pseudo-random stream (RDRAND)
+        x = (self.instr_count * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & MASK64
+        x ^= x >> 29
+        return x
+
+    def set_registers(self, xregs: list[int], fregs: list[float]) -> None:
+        """Install architectural register state (checkpoint restore)."""
+        if len(xregs) != NUM_INT_REGS or len(fregs) != NUM_FP_REGS:
+            raise ExecutionError("register state has wrong shape")
+        self.xregs = list(xregs)
+        self.xregs[0] = 0
+        self.fregs = list(fregs)
+
+    def step(self) -> tuple[tuple, tuple, bool | None]:
+        """Execute one instruction.
+
+        Returns ``(dsts, mem, taken)`` where ``dsts`` is a tuple of
+        ``(is_fp, index, value)`` writebacks, ``mem`` a tuple of
+        :class:`MemOp`, and ``taken`` the branch outcome (None for
+        non-control instructions).  Advances ``self.pc``.
+        """
+        if self.halted:
+            raise ExecutionError("machine is halted")
+        instr = self.program.fetch(self.pc)
+        op = instr.op
+        x = self.xregs
+        f = self.fregs
+        pc = self.pc
+        next_pc = pc + 1
+        dsts: tuple = ()
+        mem: tuple = ()
+        taken: bool | None = None
+
+        if op is Opcode.ADDI:
+            value = (x[instr.rs1] + instr.imm) & MASK64
+            dsts = ((False, instr.rd, value),)
+        elif op is Opcode.ADD:
+            value = (x[instr.rs1] + x[instr.rs2]) & MASK64
+            dsts = ((False, instr.rd, value),)
+        elif op is Opcode.SUB:
+            value = (x[instr.rs1] - x[instr.rs2]) & MASK64
+            dsts = ((False, instr.rd, value),)
+        elif op is Opcode.LD:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr, bits = self.load_port(addr)
+            mem = (MemOp(LOAD, addr, bits),)
+            dsts = ((False, instr.rd, bits),)
+        elif op is Opcode.ST:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr, value = self.store_port(addr, x[instr.rs2])
+            mem = (MemOp(STORE, addr, value),)
+        elif op in _BRANCH_HANDLERS:
+            taken = _BRANCH_HANDLERS[op](x[instr.rs1], x[instr.rs2])
+            if taken:
+                next_pc = instr.target
+        elif op is Opcode.MOVI:
+            dsts = ((False, instr.rd, int(instr.imm) & MASK64),)
+        elif op is Opcode.FLD:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr, bits = self.load_port(addr)
+            mem = (MemOp(LOAD, addr, bits),)
+            dsts = ((True, instr.rd, bits_to_float(bits)),)
+        elif op is Opcode.FST:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr, bits = self.store_port(addr, float_to_bits(f[instr.rs2]))
+            mem = (MemOp(STORE, addr, bits),)
+        elif op is Opcode.LDP:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr2 = (addr + 8) & MASK64
+            addr, bits1 = self.load_port(addr)
+            addr2, bits2 = self.load_port(addr2)
+            mem = (MemOp(LOAD, addr, bits1), MemOp(LOAD, addr2, bits2))
+            dsts = ((False, instr.rd, bits1), (False, instr.rd2, bits2))
+        elif op is Opcode.STP:
+            addr = (x[instr.rs1] + instr.imm) & MASK64
+            addr2 = (addr + 8) & MASK64
+            addr, v1 = self.store_port(addr, x[instr.rs2])
+            addr2, v2 = self.store_port(addr2, x[instr.rs3])
+            mem = (MemOp(STORE, addr, v1), MemOp(STORE, addr2, v2))
+        elif op in _INT_RR_HANDLERS:
+            value = _INT_RR_HANDLERS[op](x[instr.rs1], x[instr.rs2])
+            dsts = ((False, instr.rd, value),)
+        elif op in _INT_RI_HANDLERS:
+            value = _INT_RI_HANDLERS[op](x[instr.rs1], int(instr.imm))
+            dsts = ((False, instr.rd, value),)
+        elif op in _FP_BIN_HANDLERS:
+            value = _FP_BIN_HANDLERS[op](f[instr.rs1], f[instr.rs2])
+            dsts = ((True, instr.rd, value),)
+        elif op is Opcode.FMADD:
+            value = f[instr.rs1] * f[instr.rs2] + f[instr.rs3]
+            dsts = ((True, instr.rd, value),)
+        elif op in _FP_UN_HANDLERS:
+            value = _FP_UN_HANDLERS[op](f[instr.rs1])
+            dsts = ((True, instr.rd, value),)
+        elif op is Opcode.FMOVI:
+            dsts = ((True, instr.rd, float(instr.imm)),)
+        elif op is Opcode.FCVT_I2F:
+            dsts = ((True, instr.rd, float(to_signed(x[instr.rs1]))),)
+        elif op is Opcode.FCVT_F2I:
+            dsts = ((False, instr.rd, _f2i(f[instr.rs1])),)
+        elif op in _FCMP_HANDLERS:
+            value = _FCMP_HANDLERS[op](f[instr.rs1], f[instr.rs2])
+            dsts = ((False, instr.rd, value),)
+        elif op is Opcode.J:
+            taken = True
+            next_pc = instr.target
+        elif op is Opcode.JAL:
+            taken = True
+            dsts = ((False, instr.rd, (pc + 1) & MASK64),)
+            next_pc = instr.target
+        elif op is Opcode.JALR:
+            taken = True
+            dsts = ((False, instr.rd, (pc + 1) & MASK64),)
+            next_pc = (x[instr.rs1] + instr.imm) & MASK64
+        elif op is Opcode.HALT:
+            self.halted = True
+            next_pc = pc
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.RDRAND or op is Opcode.RDCYCLE:
+            value = self.nondet_port(op) & MASK64
+            mem = (MemOp(NONDET, 0, value),)
+            dsts = ((False, instr.rd, value),)
+        else:  # pragma: no cover - the opcode table is closed
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        for is_fp, idx, value in dsts:
+            if is_fp:
+                f[idx] = value
+            elif idx != 0:
+                x[idx] = value
+        # drop x0 writebacks from the record: architecturally invisible
+        if dsts and not dsts[0][0] and any(not d[0] and d[1] == 0 for d in dsts):
+            dsts = tuple(d for d in dsts if d[0] or d[1] != 0)
+
+        self.pc = next_pc
+        self.instr_count += 1
+        return dsts, mem, taken
+
+
+_BRANCH_HANDLERS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Opcode.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    Opcode.BLTU: lambda a, b: a < b,
+    Opcode.BGEU: lambda a, b: a >= b,
+}
+
+_INT_RR_HANDLERS = {
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: (a << (b & 63)) & MASK64,
+    Opcode.SRL: lambda a, b: a >> (b & 63),
+    Opcode.SRA: lambda a, b: (to_signed(a) >> (b & 63)) & MASK64,
+    Opcode.SLT: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    Opcode.SLTU: lambda a, b: 1 if a < b else 0,
+    Opcode.MUL: lambda a, b: (a * b) & MASK64,
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+}
+
+_INT_RI_HANDLERS = {
+    Opcode.ANDI: lambda a, i: a & (i & MASK64),
+    Opcode.ORI: lambda a, i: a | (i & MASK64),
+    Opcode.XORI: lambda a, i: a ^ (i & MASK64),
+    Opcode.SLLI: lambda a, i: (a << (i & 63)) & MASK64,
+    Opcode.SRLI: lambda a, i: a >> (i & 63),
+    Opcode.SRAI: lambda a, i: (to_signed(a) >> (i & 63)) & MASK64,
+    Opcode.SLTI: lambda a, i: 1 if to_signed(a) < i else 0,
+}
+
+_FP_BIN_HANDLERS = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _fdiv,
+    Opcode.FMIN: lambda a, b: b if (math.isnan(a) or b < a) else a,
+    Opcode.FMAX: lambda a, b: b if (math.isnan(a) or b > a) else a,
+}
+
+_FP_UN_HANDLERS = {
+    Opcode.FSQRT: _fsqrt,
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FABS: abs,
+    Opcode.FMOV: lambda a: a,
+}
+
+_FCMP_HANDLERS = {
+    Opcode.FCMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.FCMPLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.FCMPEQ: lambda a, b: 1 if a == b else 0,
+}
+
+
+#: Default cap on executed instructions, to catch runaway programs.
+DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+
+def execute_program(
+    program: Program,
+    fault_injector=None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> Trace:
+    """Run ``program`` to completion on the (simulated) main core.
+
+    ``fault_injector`` is an optional :class:`repro.detection.faults.FaultInjector`
+    applied at the architectural fault sites; ``None`` is the fault-free
+    fast path.  Returns the committed :class:`Trace`.
+    """
+    memory = program.initial_memory()
+    machine = Machine(program, memory=memory)
+    trace: list[DynInstr] = []
+    uops = loads = stores = 0
+    inject = fault_injector is not None
+    if inject:
+        fault_injector.attach(machine)
+
+    from repro.isa.instructions import uop_count as _uop_count
+
+    crashed = False
+    while not machine.halted:
+        if machine.instr_count >= max_instructions:
+            if inject:
+                # a fault sent the program into a runaway loop: §IV-J's
+                # timeouts bound detection; the run ends here
+                crashed = True
+                break
+            raise ExecutionError(
+                f"{program.name}: exceeded {max_instructions} instructions "
+                f"(infinite loop?)")
+        seq = machine.instr_count
+        pc = machine.pc
+        op = program.instructions[pc].op
+        if inject:
+            try:
+                dsts, mem, taken = fault_injector.step(machine, seq)
+            except ExecutionError:
+                # a corrupted value produced an illegal access or fetch:
+                # the program traps; already-committed state stands and
+                # the outstanding checks still run (§IV-H)
+                crashed = True
+                break
+        else:
+            dsts, mem, taken = machine.step()
+        record = DynInstr(seq, pc, op, dsts, mem, taken, machine.pc)
+        trace.append(record)
+        uops += _uop_count(op)
+        for memop in mem:
+            if memop.kind == LOAD:
+                loads += 1
+            elif memop.kind == STORE:
+                stores += 1
+
+    return Trace(
+        program=program,
+        instructions=trace,
+        final_xregs=list(machine.xregs),
+        final_fregs=list(machine.fregs),
+        memory=memory,
+        halted=machine.halted,
+        uop_count=uops,
+        load_count=loads,
+        store_count=stores,
+        crashed=crashed,
+    )

@@ -1,0 +1,221 @@
+"""The reproduction's instruction set.
+
+A compact 64-bit RISC-style ISA standing in for the paper's ARMv8: enough
+to express the nine evaluation workloads, with the features the detection
+scheme specifically interacts with:
+
+* **macro-ops that crack into multiple micro-ops** (``LDP``/``STP``, the
+  load/store-pair instructions) — the partitioned log must never split a
+  macro-op across two segments (paper §IV-D);
+* **non-deterministic instructions** (``RDRAND``, ``RDCYCLE``) whose results
+  must be forwarded through the load-store log for the replay to reproduce
+  them (paper §IV-D);
+* integer and floating-point pipelines with distinct functional units, so
+  the main-core/checker-core IPC contrast that drives the evaluation is
+  mechanistic rather than assumed.
+
+Architectural state: 32 64-bit integer registers (``x0`` hard-wired to
+zero), 32 double-precision FP registers, and the PC.  Instructions are a
+fixed 4 bytes for I-cache purposes; the PC used throughout the simulator is
+the instruction *index* into the program, with a byte address derived for
+cache modelling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: 64-bit wrap mask for integer arithmetic.
+MASK64 = (1 << 64) - 1
+
+#: Byte size of one encoded instruction (for I-cache modelling).
+INSTRUCTION_BYTES = 4
+
+#: Base byte address of the code segment.
+CODE_BASE = 0x0040_0000
+
+#: Base byte address of the data segment used by the workload builders.
+DATA_BASE = 0x1000_0000
+
+
+class Opcode(enum.Enum):
+    """Every operation in the ISA."""
+
+    # integer ALU, register-register
+    ADD = "ADD"
+    SUB = "SUB"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SLL = "SLL"
+    SRL = "SRL"
+    SRA = "SRA"
+    SLT = "SLT"
+    SLTU = "SLTU"
+    # integer ALU, register-immediate
+    ADDI = "ADDI"
+    ANDI = "ANDI"
+    ORI = "ORI"
+    XORI = "XORI"
+    SLLI = "SLLI"
+    SRLI = "SRLI"
+    SRAI = "SRAI"
+    SLTI = "SLTI"
+    MOVI = "MOVI"
+    # multiply / divide
+    MUL = "MUL"
+    DIV = "DIV"
+    REM = "REM"
+    # memory
+    LD = "LD"
+    ST = "ST"
+    LDP = "LDP"  # macro-op: two load micro-ops
+    STP = "STP"  # macro-op: two store micro-ops
+    FLD = "FLD"
+    FST = "FST"
+    # floating point
+    FADD = "FADD"
+    FSUB = "FSUB"
+    FMUL = "FMUL"
+    FDIV = "FDIV"
+    FSQRT = "FSQRT"
+    FMIN = "FMIN"
+    FMAX = "FMAX"
+    FMADD = "FMADD"  # fd = fs1 * fs2 + fs3
+    FNEG = "FNEG"
+    FABS = "FABS"
+    FMOV = "FMOV"
+    FMOVI = "FMOVI"  # load FP immediate
+    FCVT_I2F = "FCVT_I2F"  # fd = float(xs1)
+    FCVT_F2I = "FCVT_F2I"  # xd = int(fs1)
+    FCMPLT = "FCMPLT"  # xd = fs1 < fs2
+    FCMPLE = "FCMPLE"
+    FCMPEQ = "FCMPEQ"
+    # control flow
+    BEQ = "BEQ"
+    BNE = "BNE"
+    BLT = "BLT"
+    BGE = "BGE"
+    BLTU = "BLTU"
+    BGEU = "BGEU"
+    J = "J"
+    JAL = "JAL"
+    JALR = "JALR"
+    HALT = "HALT"
+    NOP = "NOP"
+    # non-deterministic (results forwarded through the log on replay)
+    RDRAND = "RDRAND"
+    RDCYCLE = "RDCYCLE"
+
+
+class FuClass(enum.Enum):
+    """Functional-unit class, for issue contention in the timing models."""
+
+    INT_ALU = "int_alu"
+    MULDIV = "muldiv"
+    FP_ALU = "fp_alu"
+    MEM = "mem"
+    BRANCH = "branch"
+    NONE = "none"
+
+
+# opcode groups used by the executor and timing models
+INT_RR_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SLTU,
+})
+INT_RI_OPS = frozenset({
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
+})
+MULDIV_OPS = frozenset({Opcode.MUL, Opcode.DIV, Opcode.REM})
+LOAD_OPS = frozenset({Opcode.LD, Opcode.LDP, Opcode.FLD})
+STORE_OPS = frozenset({Opcode.ST, Opcode.STP, Opcode.FST})
+MEM_OPS = LOAD_OPS | STORE_OPS
+FP_OPS = frozenset({
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT,
+    Opcode.FMIN, Opcode.FMAX, Opcode.FMADD, Opcode.FNEG, Opcode.FABS,
+    Opcode.FMOV, Opcode.FMOVI, Opcode.FCVT_I2F, Opcode.FCVT_F2I,
+    Opcode.FCMPLT, Opcode.FCMPLE, Opcode.FCMPEQ,
+})
+BRANCH_OPS = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+})
+JUMP_OPS = frozenset({Opcode.J, Opcode.JAL, Opcode.JALR})
+CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+NONDET_OPS = frozenset({Opcode.RDRAND, Opcode.RDCYCLE})
+
+#: Micro-op counts for macro-ops; everything not listed is a single µop.
+UOP_COUNTS = {Opcode.LDP: 2, Opcode.STP: 2}
+
+
+def uop_count(op: Opcode) -> int:
+    """Number of micro-ops the decoder cracks ``op`` into."""
+    return UOP_COUNTS.get(op, 1)
+
+
+def fu_class(op: Opcode) -> FuClass:
+    """Functional-unit class an opcode issues to."""
+    if op in MEM_OPS:
+        return FuClass.MEM
+    if op in MULDIV_OPS:
+        return FuClass.MULDIV
+    if op in FP_OPS:
+        return FuClass.FP_ALU
+    if op in CONTROL_OPS:
+        return FuClass.BRANCH
+    if op in (Opcode.HALT, Opcode.NOP):
+        return FuClass.NONE
+    return FuClass.INT_ALU
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Register fields are indices into the integer or FP register file
+    depending on the opcode; unused fields are ``None``.  ``target`` is an
+    instruction index (resolved by the assembler/builder from a label).
+    ``rd2``/``rs3`` serve the pair/fused ops (``LDP`` second destination,
+    ``STP`` second source, ``FMADD`` addend).
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    rs3: int | None = None
+    rd2: int | None = None
+    imm: int | float = 0
+    target: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        fields = []
+        for name in ("rd", "rd2", "rs1", "rs2", "rs3"):
+            value = getattr(self, name)
+            if value is not None:
+                fields.append(f"{name}={value}")
+        if self.imm:
+            fields.append(f"imm={self.imm}")
+        if self.target is not None:
+            fields.append(f"target={self.target}")
+        return f"{self.op.value} {' '.join(fields)}"
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int to the 64-bit unsigned representation."""
+    return value & MASK64
+
+
+def pc_to_byte_address(pc: int) -> int:
+    """Byte address of instruction index ``pc`` (for I-cache modelling)."""
+    return CODE_BASE + pc * INSTRUCTION_BYTES

@@ -1,0 +1,95 @@
+"""Static per-instruction metadata for the timing models.
+
+The timing simulators need, for every static instruction, its source and
+destination registers (to build the dependence graph), its functional-unit
+class and whether it touches memory.  This is static information, so it is
+computed once per :class:`~repro.isa.program.Program` and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.isa.assembler import field_space
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    FuClass,
+    Instruction,
+    LOAD_OPS,
+    Opcode,
+    STORE_OPS,
+    fu_class,
+    uop_count,
+)
+from repro.isa.program import Program, signature
+
+
+@dataclass(frozen=True)
+class InstrMeta:
+    """Timing-relevant static facts about one instruction."""
+
+    op: Opcode
+    #: tuple of (is_fp, index) source registers (x0 excluded: always ready)
+    srcs: tuple[tuple[bool, int], ...]
+    #: tuple of (is_fp, index) destination registers (x0 excluded)
+    dsts: tuple[tuple[bool, int], ...]
+    fu: FuClass
+    uops: int
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    is_jump: bool
+
+
+def instr_meta(instr: Instruction) -> InstrMeta:
+    """Compute the static metadata for one instruction."""
+    sig = signature(instr.op)
+    srcs: list[tuple[bool, int]] = []
+    dsts: list[tuple[bool, int]] = []
+    mapping = {"a": instr.rs1, "b": instr.rs2, "c": instr.rs3}
+    for letter in sig:
+        if letter in mapping and mapping[letter] is not None:
+            is_fp = field_space(instr.op, letter) == "f"
+            idx = mapping[letter]
+            if is_fp or idx != 0:
+                srcs.append((is_fp, idx))
+    for letter, reg in (("d", instr.rd), ("D", instr.rd2)):
+        if letter in sig and reg is not None:
+            is_fp = field_space(instr.op, letter) == "f"
+            if is_fp or reg != 0:
+                dsts.append((is_fp, reg))
+    op = instr.op
+    return InstrMeta(
+        op=op,
+        srcs=tuple(srcs),
+        dsts=tuple(dsts),
+        fu=fu_class(op),
+        uops=uop_count(op),
+        is_load=op in LOAD_OPS,
+        is_store=op in STORE_OPS,
+        is_branch=op in BRANCH_OPS,
+        is_jump=op in (Opcode.J, Opcode.JAL, Opcode.JALR),
+    )
+
+
+class ProgramMeta:
+    """Per-program cache of :class:`InstrMeta`, indexed by PC."""
+
+    __slots__ = ("metas",)
+
+    def __init__(self, program: Program) -> None:
+        self.metas = tuple(instr_meta(i) for i in program.instructions)
+
+    def __getitem__(self, pc: int) -> InstrMeta:
+        return self.metas[pc]
+
+    def __len__(self) -> int:
+        return len(self.metas)
+
+
+@lru_cache(maxsize=64)
+def program_meta(program: Program) -> ProgramMeta:
+    """Metadata table for ``program`` (cached on program identity;
+    :class:`Program` hashes by identity)."""
+    return ProgramMeta(program)

@@ -1,0 +1,20 @@
+"""Memory-system substrate: caches, DRAM, prefetcher, hierarchy, ECC."""
+
+from repro.memory.cache import CacheModel
+from repro.memory.dram import DRAMModel
+from repro.memory.ecc import EccResult, EccWord, decode, encode, flip_bit
+from repro.memory.hierarchy import CheckerICaches, MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = [
+    "CacheModel",
+    "CheckerICaches",
+    "DRAMModel",
+    "EccResult",
+    "EccWord",
+    "MemoryHierarchy",
+    "StridePrefetcher",
+    "decode",
+    "encode",
+    "flip_bit",
+]

@@ -1,0 +1,138 @@
+"""Set-associative cache timing model.
+
+The functional memory contents live in :class:`repro.isa.MemoryImage`; the
+caches here model *timing only* (tags, LRU replacement, MSHR-limited miss
+concurrency, and coalescing of misses to an already-outstanding line).
+This mirrors how trace-driven simulators treat caches: a lookup returns the
+cycle at which the data is available, and mutates the tag state.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CacheConfig
+
+
+class CacheModel:
+    """Tags + LRU + MSHRs for one cache level.
+
+    All times are in cycles of the clock domain the cache lives in; the
+    caller converts between domains.  The cache itself does not know its
+    miss penalty — the hierarchy supplies the fill time, so one model
+    serves L1s, the L2, and the checker cores' instruction caches.
+    """
+
+    __slots__ = (
+        "config", "_sets", "_set_shift", "_set_mask", "_line_shift",
+        "_mshr_ready", "_outstanding", "hits", "misses", "mshr_stalls",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        num_sets = config.num_sets
+        self._sets: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._set_shift = self._line_shift
+        # MSHR slots: cycle each slot frees up
+        self._mshr_ready = [0] * config.mshrs
+        # line -> fill-complete cycle, for miss coalescing
+        self._outstanding: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.mshr_stalls = 0
+
+    def _line(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line & self._set_mask
+
+    def probe(self, addr: int) -> bool:
+        """Check for a hit without updating any state."""
+        line = self._line(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def lookup(self, addr: int, now: int) -> tuple[bool, int]:
+        """Access the cache at cycle ``now``.
+
+        Returns ``(hit, ready_cycle)``:
+
+        * on a **hit**, ``ready_cycle = now + hit_latency`` and the line's
+          LRU position is refreshed;
+        * on a **coalesced miss** (line already being fetched), the access
+          completes when the outstanding fill does;
+        * on a **true miss**, returns ``(False, allocation_cycle)`` —
+          the cycle the miss *starts* after acquiring an MSHR.  The caller
+          must then compute the fill time from the next level and call
+          :meth:`fill`.
+        """
+        line = self._line(addr)
+        index = self._set_index(line)
+        ways = self._sets[index]
+        if line in ways:
+            self.hits += 1
+            # refresh LRU: move to most-recent by re-inserting
+            del ways[line]
+            ways[line] = 0
+            ready = now + self.config.hit_latency_cycles
+            pending = self._outstanding.get(line)
+            if pending is not None and pending > ready:
+                # the line is still in flight (outstanding demand fill or
+                # prefetch): the access completes when the fill does
+                ready = pending
+            return True, ready
+        pending = self._outstanding.get(line)
+        if pending is not None and pending > now:
+            self.hits += 1  # counted as a hit-under-miss
+            return True, pending
+        self.misses += 1
+        # acquire the least-soon-busy MSHR slot
+        slot = min(range(len(self._mshr_ready)), key=self._mshr_ready.__getitem__)
+        start = self._mshr_ready[slot]
+        if start > now:
+            self.mshr_stalls += 1
+        else:
+            start = now
+        return False, start
+
+    def fill(self, addr: int, miss_start: int, fill_done: int) -> None:
+        """Install the line for a miss that started at ``miss_start`` and
+        whose data arrives at ``fill_done``; occupies an MSHR meanwhile."""
+        line = self._line(addr)
+        index = self._set_index(line)
+        ways = self._sets[index]
+        if line not in ways and len(ways) >= self.config.assoc:
+            # evict true-LRU (first key in insertion order)
+            ways.pop(next(iter(ways)))
+        ways[line] = 0
+        self._outstanding[line] = fill_done
+        slot = min(range(len(self._mshr_ready)), key=self._mshr_ready.__getitem__)
+        self._mshr_ready[slot] = fill_done
+        # keep the outstanding map small
+        if len(self._outstanding) > 4 * self.config.mshrs:
+            self._outstanding = {
+                ln: t for ln, t in self._outstanding.items() if t > miss_start
+            }
+
+    def install(self, addr: int, ready: int = 0) -> None:
+        """Insert a line without an MSHR (prefetch fill)."""
+        line = self._line(addr)
+        index = self._set_index(line)
+        ways = self._sets[index]
+        if line not in ways and len(ways) >= self.config.assoc:
+            ways.pop(next(iter(ways)))
+        ways[line] = 0
+        if ready:
+            self._outstanding[line] = ready
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.mshr_stalls = 0

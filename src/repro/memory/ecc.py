@@ -1,0 +1,116 @@
+"""SECDED ECC over 64-bit words.
+
+The paper assumes (§IV-A) that caches and DRAM are ECC-protected, so the
+detection scheme only has to cover the core.  This module implements the
+standard (72,64) Hamming-plus-overall-parity SECDED code so the assumption
+is concrete rather than hand-waved: tests inject single- and double-bit
+flips into encoded words and confirm correction/detection, and the design
+documents exactly where the sphere of replication ends.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+_DATA_BITS = 64
+#: Hamming check bits for 64 data bits (positions 1,2,4,...,64 in the
+#: 1-indexed codeword), plus one overall-parity bit for double detection.
+_CHECK_BITS = 7
+_CODE_BITS = _DATA_BITS + _CHECK_BITS  # 71; +1 overall parity -> 72
+
+# Precompute the 1-indexed codeword positions that hold data bits
+# (everything that is not a power of two), for 71-bit Hamming layout.
+_DATA_POSITIONS = [p for p in range(1, _CODE_BITS + 1) if p & (p - 1)]
+assert len(_DATA_POSITIONS) == _DATA_BITS
+_CHECK_POSITIONS = [1 << i for i in range(_CHECK_BITS)]
+
+
+class EccResult(enum.Enum):
+    """Outcome of decoding a (72,64) SECDED codeword."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DOUBLE_ERROR = "double_error"
+
+
+@dataclass(frozen=True)
+class EccWord:
+    """An encoded 72-bit codeword: 71-bit Hamming part + overall parity."""
+
+    hamming: int
+    parity: int
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def encode(data: int) -> EccWord:
+    """Encode a 64-bit word into a SECDED codeword."""
+    if not 0 <= data < (1 << _DATA_BITS):
+        raise ValueError("data out of 64-bit range")
+    word = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (data >> i) & 1:
+            word |= 1 << (pos - 1)
+    for check in _CHECK_POSITIONS:
+        parity = 0
+        for pos in range(1, _CODE_BITS + 1):
+            if pos & check and (word >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            word |= 1 << (check - 1)
+    return EccWord(hamming=word, parity=_parity(word))
+
+
+def decode(word: EccWord) -> tuple[int, EccResult]:
+    """Decode a codeword; corrects single-bit errors, flags double errors.
+
+    Returns ``(data, result)``.  On :attr:`EccResult.DOUBLE_ERROR` the data
+    value is best-effort and must not be trusted.
+    """
+    hamming = word.hamming
+    syndrome = 0
+    for check in _CHECK_POSITIONS:
+        parity = 0
+        for pos in range(1, _CODE_BITS + 1):
+            if pos & check and (hamming >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= check
+    overall = _parity(hamming) ^ word.parity
+    if syndrome == 0 and overall == 0:
+        result = EccResult.CLEAN
+    elif overall == 1:
+        # single error: either in the hamming part (syndrome points at it)
+        # or in the overall parity bit itself (syndrome == 0)
+        if syndrome:
+            if syndrome <= _CODE_BITS:
+                hamming ^= 1 << (syndrome - 1)
+        result = EccResult.CORRECTED
+    else:
+        # syndrome != 0 with clean overall parity: two bits flipped
+        return _extract(hamming), EccResult.DOUBLE_ERROR
+    return _extract(hamming), result
+
+
+def _extract(hamming: int) -> int:
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (hamming >> (pos - 1)) & 1:
+            data |= 1 << i
+    return data
+
+
+def flip_bit(word: EccWord, bit: int) -> EccWord:
+    """Return a copy of ``word`` with codeword bit ``bit`` flipped.
+
+    Bits 0..70 index the Hamming part; bit 71 is the overall parity bit.
+    Used by tests and the fault-injection examples.
+    """
+    if not 0 <= bit <= _CODE_BITS:
+        raise ValueError(f"bit {bit} out of range 0..{_CODE_BITS}")
+    if bit == _CODE_BITS:
+        return EccWord(hamming=word.hamming, parity=word.parity ^ 1)
+    return EccWord(hamming=word.hamming ^ (1 << bit), parity=word.parity)

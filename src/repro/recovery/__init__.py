@@ -1,0 +1,18 @@
+"""Rollback recovery — the paper's future-work correction extension."""
+
+from repro.recovery.rollback import (
+    RecoveryOutcome,
+    build_snapshots,
+    detect_and_recover,
+    resume_from,
+)
+from repro.recovery.snapshots import RecoverySnapshot, SnapshotStore
+
+__all__ = [
+    "RecoveryOutcome",
+    "RecoverySnapshot",
+    "SnapshotStore",
+    "build_snapshots",
+    "detect_and_recover",
+    "resume_from",
+]

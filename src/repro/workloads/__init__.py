@@ -1,0 +1,25 @@
+"""The nine Table II workload kernels and the suite registry."""
+
+from repro.workloads import (
+    bitcount,
+    blackscholes,
+    bodytrack,
+    facesim,
+    fluidanimate,
+    freqmine,
+    randacc,
+    stream,
+    swaptions,
+)
+
+__all__ = [
+    "bitcount",
+    "blackscholes",
+    "bodytrack",
+    "facesim",
+    "fluidanimate",
+    "freqmine",
+    "randacc",
+    "stream",
+    "swaptions",
+]

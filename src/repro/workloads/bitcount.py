@@ -1,0 +1,111 @@
+"""bitcount — MiBench's bit-counting kernel.
+
+The paper's extreme *compute-bound* point: almost no memory traffic, long
+stretches of dependent integer ALU work.  With so few loads/stores, log
+segments close on the **instruction timeout** rather than on fill, which
+is exactly the behaviour Figures 10/12 probe (without the timeout its
+maximum detection delay explodes — the paper reports a 250× reduction from
+a 50 k timeout).
+
+Each iteration counts the bits of a PRNG value with Kernighan's
+``n &= n-1`` loop and with shift-and-mask arithmetic (two of the
+original's methods); the optional ``table_lookup`` flag adds MiBench's
+256-entry byte-table method, whose loads make the kernel memory-richer.
+It defaults to **off** because the paper's observed bitcount behaviour —
+log segments closing on the instruction timeout, and the maximum
+detection delay exploding when the timeout is removed (Figure 12) —
+depends on the near-total absence of loads and stores.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import (
+    emit_counted_loop_footer,
+    emit_counted_loop_header,
+    emit_xorshift,
+)
+
+#: iterations between result stores
+STORE_INTERVAL = 64
+
+
+def build(iterations: int = 1200, table_lookup: bool = False) -> Program:
+    """Build the bitcount kernel over ``iterations`` PRNG values."""
+    b = ProgramBuilder("bitcount")
+    results = b.alloc_words(max(1, iterations // STORE_INTERVAL) + 1)
+    # the classic 256-entry popcount byte table (optional method)
+    table = b.alloc_words(256, [bin(i).count("1") for i in range(256)])
+
+    b.emit(Opcode.MOVI, rd=1, imm=results)
+    b.emit(Opcode.MOVI, rd=2, imm=0xB5AD4ECEDA1CE2A9)  # xorshift state
+    b.emit(Opcode.MOVI, rd=6, imm=0)                   # total count
+    b.emit(Opcode.MOVI, rd=7, imm=STORE_INTERVAL - 1)
+    emit_counted_loop_header(b, counter_reg=3, bound_reg=4,
+                             iterations=iterations, label="next_value")
+    emit_xorshift(b, state_reg=2, tmp_reg=10)
+
+    # method 1: Kernighan — loop while n != 0: n &= n - 1; count++
+    b.emit(Opcode.ADD, rd=11, rs1=2, rs2=0)   # n = value
+    b.emit(Opcode.MOVI, rd=12, imm=0)         # count1
+    b.label("kernighan")
+    b.emit(Opcode.BEQ, rs1=11, rs2=0, target="kernighan_done")
+    b.emit(Opcode.ADDI, rd=13, rs1=11, imm=-1)
+    b.emit(Opcode.AND, rd=11, rs1=11, rs2=13)
+    b.emit(Opcode.ADDI, rd=12, rs1=12, imm=1)
+    b.emit(Opcode.J, target="kernighan")
+    b.label("kernighan_done")
+
+    # method 2: shift-and-mask over 8 nibble-pair steps
+    b.emit(Opcode.ADD, rd=14, rs1=2, rs2=0)   # n = value
+    b.emit(Opcode.MOVI, rd=15, imm=0)         # count2
+    b.emit(Opcode.MOVI, rd=16, imm=8)
+    b.emit(Opcode.MOVI, rd=17, imm=0)
+    b.label("mask_loop")
+    b.emit(Opcode.ANDI, rd=18, rs1=14, imm=0xFF)
+    # lookup-free popcount of the byte via 4 shifted adds
+    b.emit(Opcode.SRLI, rd=19, rs1=18, imm=1)
+    b.emit(Opcode.ANDI, rd=19, rs1=19, imm=0x55)
+    b.emit(Opcode.SUB, rd=18, rs1=18, rs2=19)
+    b.emit(Opcode.SRLI, rd=19, rs1=18, imm=2)
+    b.emit(Opcode.ANDI, rd=19, rs1=19, imm=0x33)
+    b.emit(Opcode.ANDI, rd=18, rs1=18, imm=0x33)
+    b.emit(Opcode.ADD, rd=18, rs1=18, rs2=19)
+    b.emit(Opcode.SRLI, rd=19, rs1=18, imm=4)
+    b.emit(Opcode.ADD, rd=18, rs1=18, rs2=19)
+    b.emit(Opcode.ANDI, rd=18, rs1=18, imm=0x0F)
+    b.emit(Opcode.ADD, rd=15, rs1=15, rs2=18)
+    b.emit(Opcode.SRLI, rd=14, rs1=14, imm=8)
+    b.emit(Opcode.ADDI, rd=17, rs1=17, imm=1)
+    b.emit(Opcode.BLT, rs1=17, rs2=16, target="mask_loop")
+
+    if table_lookup:
+        # method 3: byte-table lookup (8 table loads per value)
+        b.emit(Opcode.MOVI, rd=21, imm=table)
+        b.emit(Opcode.ADD, rd=14, rs1=2, rs2=0)   # n = value
+        b.emit(Opcode.MOVI, rd=22, imm=0)         # count3
+        b.emit(Opcode.MOVI, rd=17, imm=0)
+        b.label("table_loop")
+        b.emit(Opcode.ANDI, rd=18, rs1=14, imm=0xFF)
+        b.emit(Opcode.SLLI, rd=18, rs1=18, imm=3)
+        b.emit(Opcode.ADD, rd=18, rs1=21, rs2=18)
+        b.emit(Opcode.LD, rd=19, rs1=18, imm=0)
+        b.emit(Opcode.ADD, rd=22, rs1=22, rs2=19)
+        b.emit(Opcode.SRLI, rd=14, rs1=14, imm=8)
+        b.emit(Opcode.ADDI, rd=17, rs1=17, imm=1)
+        b.emit(Opcode.BLT, rs1=17, rs2=16, target="table_loop")
+        b.emit(Opcode.ADD, rd=6, rs1=6, rs2=22)
+
+    b.emit(Opcode.ADD, rd=6, rs1=6, rs2=12)
+    b.emit(Opcode.ADD, rd=6, rs1=6, rs2=15)
+
+    # store the running total once per STORE_INTERVAL iterations
+    b.emit(Opcode.AND, rd=20, rs1=3, rs2=7)
+    b.emit(Opcode.BNE, rs1=20, rs2=7, target="no_store")
+    b.emit(Opcode.ST, rs2=6, rs1=1, imm=0)
+    b.emit(Opcode.ADDI, rd=1, rs1=1, imm=8)
+    b.label("no_store")
+    emit_counted_loop_footer(b, counter_reg=3, bound_reg=4, label="next_value")
+    b.emit(Opcode.HALT)
+    return b.build()

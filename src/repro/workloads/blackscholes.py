@@ -1,0 +1,97 @@
+"""blackscholes — PARSEC's option-pricing kernel.
+
+Floating-point compute-bound with a small, regular working set: per option
+a handful of loads, a long chain of FP arithmetic (the cumulative-normal-
+distribution evaluation), one store.  In the paper this class of workload
+is sensitive to checker-core *frequency* (Figure 9) because the checkers'
+scalar pipelines must re-execute the full FP chain.
+
+The CND is evaluated with the classic Abramowitz–Stegun-style rational
+polynomial, using only the ISA's FP ops (no libm): the erf-like shape is
+computed from x via 1/(1+p·x) powers — the arithmetic structure (depth and
+op mix) matches the original kernel, which is what the timing model sees.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import float_data
+
+
+def build(options: int = 700, seed: int | None = None) -> Program:
+    """Build the blackscholes kernel pricing ``options`` options."""
+    b = ProgramBuilder("blackscholes")
+    spot = b.alloc_floats(float_data("bs-spot", options, 10.0, 200.0, seed))
+    strike = b.alloc_floats(float_data("bs-strike", options, 10.0, 200.0, seed))
+    vol = b.alloc_floats(float_data("bs-vol", options, 0.1, 0.6, seed))
+    time_arr = b.alloc_floats(float_data("bs-time", options, 0.25, 2.0, seed))
+    prices = b.alloc_words(options)
+
+    b.emit(Opcode.MOVI, rd=1, imm=spot)
+    b.emit(Opcode.MOVI, rd=2, imm=strike)
+    b.emit(Opcode.MOVI, rd=3, imm=vol)
+    b.emit(Opcode.MOVI, rd=4, imm=time_arr)
+    b.emit(Opcode.MOVI, rd=5, imm=prices)
+    b.emit(Opcode.MOVI, rd=6, imm=0)
+    b.emit(Opcode.MOVI, rd=7, imm=options)
+    # constants for the rational CND approximation
+    b.emit(Opcode.FMOVI, rd=10, imm=1.0)
+    b.emit(Opcode.FMOVI, rd=11, imm=0.2316419)
+    b.emit(Opcode.FMOVI, rd=12, imm=0.319381530)
+    b.emit(Opcode.FMOVI, rd=13, imm=-0.356563782)
+    b.emit(Opcode.FMOVI, rd=14, imm=1.781477937)
+    b.emit(Opcode.FMOVI, rd=15, imm=0.3989422804)  # 1/sqrt(2*pi)
+
+    b.label("option")
+    b.emit(Opcode.FLD, rd=0, rs1=1, imm=0)    # S
+    b.emit(Opcode.FLD, rd=1, rs1=2, imm=0)    # K
+    b.emit(Opcode.FLD, rd=2, rs1=3, imm=0)    # v
+    b.emit(Opcode.FLD, rd=3, rs1=4, imm=0)    # T
+    # d1 ~ (S/K - 1 + 0.5*v^2*T) / (v*sqrt(T))   [log(S/K) ~ S/K - 1]
+    b.emit(Opcode.FDIV, rd=4, rs1=0, rs2=1)
+    b.emit(Opcode.FSUB, rd=4, rs1=4, rs2=10)
+    b.emit(Opcode.FMUL, rd=5, rs1=2, rs2=2)
+    b.emit(Opcode.FMUL, rd=5, rs1=5, rs2=3)
+    b.emit(Opcode.FMOVI, rd=6, imm=0.5)
+    b.emit(Opcode.FMUL, rd=5, rs1=5, rs2=6)
+    b.emit(Opcode.FADD, rd=4, rs1=4, rs2=5)
+    b.emit(Opcode.FSQRT, rd=6, rs1=3)
+    b.emit(Opcode.FMUL, rd=7, rs1=2, rs2=6)
+    b.emit(Opcode.FDIV, rd=4, rs1=4, rs2=7)   # d1
+    # CND(d1): t = 1/(1 + p*|d1|); poly in t; gaussian density from
+    # rational approx  exp(-x^2/2) ~ 1/(1 + x^2/2 + x^4/8)
+    b.emit(Opcode.FABS, rd=5, rs1=4)
+    b.emit(Opcode.FMUL, rd=6, rs1=5, rs2=11)
+    b.emit(Opcode.FADD, rd=6, rs1=6, rs2=10)
+    b.emit(Opcode.FDIV, rd=6, rs1=10, rs2=6)  # t
+    b.emit(Opcode.FMUL, rd=7, rs1=6, rs2=6)   # t^2
+    b.emit(Opcode.FMUL, rd=8, rs1=7, rs2=6)   # t^3
+    b.emit(Opcode.FMUL, rd=9, rs1=6, rs2=12)
+    b.emit(Opcode.FMADD, rd=9, rs1=7, rs2=13, rs3=9)
+    b.emit(Opcode.FMADD, rd=9, rs1=8, rs2=14, rs3=9)  # poly(t)
+    b.emit(Opcode.FMUL, rd=7, rs1=5, rs2=5)   # x^2
+    b.emit(Opcode.FMUL, rd=8, rs1=7, rs2=6)
+    b.emit(Opcode.FMOVI, rd=6, imm=0.5)
+    b.emit(Opcode.FMUL, rd=7, rs1=7, rs2=6)
+    b.emit(Opcode.FADD, rd=7, rs1=7, rs2=10)  # 1 + x^2/2 (+ small term)
+    b.emit(Opcode.FDIV, rd=7, rs1=10, rs2=7)  # ~exp(-x^2/2)
+    b.emit(Opcode.FMUL, rd=7, rs1=7, rs2=15)  # gaussian density
+    b.emit(Opcode.FMUL, rd=9, rs1=9, rs2=7)
+    b.emit(Opcode.FSUB, rd=9, rs1=10, rs2=9)  # CND for x >= 0
+    # price ~ S*CND - K*CND (degenerate riskless rate), kept positive
+    b.emit(Opcode.FMUL, rd=8, rs1=0, rs2=9)
+    b.emit(Opcode.FMUL, rd=7, rs1=1, rs2=9)
+    b.emit(Opcode.FSUB, rd=8, rs1=8, rs2=7)
+    b.emit(Opcode.FABS, rd=8, rs1=8)
+    b.emit(Opcode.FST, rs2=8, rs1=5, imm=0)
+    # advance pointers
+    b.emit(Opcode.ADDI, rd=1, rs1=1, imm=8)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=8)
+    b.emit(Opcode.ADDI, rd=3, rs1=3, imm=8)
+    b.emit(Opcode.ADDI, rd=4, rs1=4, imm=8)
+    b.emit(Opcode.ADDI, rd=5, rs1=5, imm=8)
+    b.emit(Opcode.ADDI, rd=6, rs1=6, imm=1)
+    b.emit(Opcode.BLT, rs1=6, rs2=7, target="option")
+    b.emit(Opcode.HALT)
+    return b.build()

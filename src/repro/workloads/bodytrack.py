@@ -1,0 +1,71 @@
+"""bodytrack — PARSEC's particle-filter body tracker.
+
+Mixed integer/FP with *data-dependent branches*: per particle, load its
+state, compute a likelihood weight (FP), and take different update paths
+depending on whether the weight clears a threshold — the branchy,
+annealing-style structure of the original's particle resampling.  The
+data-dependent branches give the tournament predictor real work and the
+occasional misprediction the paper's mid-pack benchmarks show.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import float_data
+
+DEFAULT_PARTICLES = 4096
+
+
+def build(iterations: int = 1600, particles: int = DEFAULT_PARTICLES,
+          seed: int | None = None) -> Program:
+    """Build the bodytrack kernel over ``iterations`` particle updates."""
+    b = ProgramBuilder("bodytrack")
+    n = particles
+    state = b.alloc_floats(float_data("bt-state", n, -2.0, 2.0, seed))
+    obs = b.alloc_floats(float_data("bt-obs", n, -2.0, 2.0, seed))
+    weights = b.alloc_words(n)
+
+    b.emit(Opcode.MOVI, rd=1, imm=state)
+    b.emit(Opcode.MOVI, rd=2, imm=obs)
+    b.emit(Opcode.MOVI, rd=3, imm=weights)
+    b.emit(Opcode.MOVI, rd=4, imm=0)
+    b.emit(Opcode.MOVI, rd=5, imm=iterations)
+    b.emit(Opcode.MOVI, rd=6, imm=n - 1)
+    b.emit(Opcode.FMOVI, rd=10, imm=1.0)
+    b.emit(Opcode.FMOVI, rd=11, imm=0.75)     # acceptance threshold
+    b.emit(Opcode.FMOVI, rd=12, imm=0.5)
+
+    b.label("particle")
+    b.emit(Opcode.AND, rd=7, rs1=4, rs2=6)
+    b.emit(Opcode.SLLI, rd=7, rs1=7, imm=3)
+    b.emit(Opcode.ADD, rd=8, rs1=1, rs2=7)
+    b.emit(Opcode.FLD, rd=0, rs1=8, imm=0)    # particle state
+    b.emit(Opcode.ADD, rd=9, rs1=2, rs2=7)
+    b.emit(Opcode.FLD, rd=1, rs1=9, imm=0)    # observation
+    # weight = 1 / (1 + (state - obs)^2)   — likelihood shape
+    b.emit(Opcode.FSUB, rd=2, rs1=0, rs2=1)
+    b.emit(Opcode.FMUL, rd=2, rs1=2, rs2=2)
+    b.emit(Opcode.FADD, rd=2, rs1=2, rs2=10)
+    b.emit(Opcode.FDIV, rd=2, rs1=10, rs2=2)
+    # data-dependent branch: accepted particles get the full update path
+    b.emit(Opcode.FCMPLT, rd=11, rs1=2, rs2=11)
+    b.emit(Opcode.BNE, rs1=11, rs2=0, target="rejected")
+    # accepted: refine state toward observation and store weight
+    b.emit(Opcode.FSUB, rd=3, rs1=1, rs2=0)
+    b.emit(Opcode.FMUL, rd=3, rs1=3, rs2=12)
+    b.emit(Opcode.FADD, rd=0, rs1=0, rs2=3)
+    b.emit(Opcode.FST, rs2=0, rs1=8, imm=0)
+    b.emit(Opcode.ADD, rd=12, rs1=3, rs2=7)
+    b.emit(Opcode.FST, rs2=2, rs1=12, imm=0)
+    b.emit(Opcode.J, target="next")
+    b.label("rejected")
+    # rejected: decay the weight only
+    b.emit(Opcode.FMUL, rd=2, rs1=2, rs2=12)
+    b.emit(Opcode.ADD, rd=12, rs1=3, rs2=7)
+    b.emit(Opcode.FST, rs2=2, rs1=12, imm=0)
+    b.label("next")
+    b.emit(Opcode.ADDI, rd=4, rs1=4, imm=1)
+    b.emit(Opcode.BLT, rs1=4, rs2=5, target="particle")
+    b.emit(Opcode.HALT)
+    return b.build()

@@ -1,0 +1,55 @@
+"""facesim — PARSEC's face-dynamics FEM solver.
+
+The inner work of facesim is regular dense linear algebra over the face
+mesh's stiffness structures.  The kernel is repeated dense matrix–vector
+products (the solver's dominant primitive): perfectly regular strided FP
+loads, an FMADD reduction per row, one store per row.  Highly homogeneous
+— the paper's Figure 8 shows facesim's detection-delay distribution as one
+of the cleanest normal shapes, which this regularity reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import float_data
+
+DEFAULT_DIM = 64
+
+
+def build(sweeps: int = 10, dim: int = DEFAULT_DIM,
+          seed: int | None = None) -> Program:
+    """Build the facesim kernel: ``sweeps`` dense ``dim``×``dim`` matvecs."""
+    b = ProgramBuilder("facesim")
+    matrix = b.alloc_floats(float_data("fs-A", dim * dim, -1.0, 1.0, seed))
+    vec_in = b.alloc_floats(float_data("fs-x", dim, -1.0, 1.0, seed))
+    vec_out = b.alloc_words(dim)
+
+    b.emit(Opcode.MOVI, rd=6, imm=0)          # sweep counter
+    b.emit(Opcode.MOVI, rd=7, imm=sweeps)
+    b.label("sweep")
+    b.emit(Opcode.MOVI, rd=1, imm=matrix)     # row pointer
+    b.emit(Opcode.MOVI, rd=4, imm=0)          # row index
+    b.emit(Opcode.MOVI, rd=5, imm=dim)
+    b.label("row")
+    b.emit(Opcode.MOVI, rd=2, imm=vec_in)
+    b.emit(Opcode.MOVI, rd=8, imm=0)          # column index
+    b.emit(Opcode.FMOVI, rd=0, imm=0.0)       # accumulator
+    b.label("col")
+    b.emit(Opcode.FLD, rd=1, rs1=1, imm=0)    # A[i][j]
+    b.emit(Opcode.FLD, rd=2, rs1=2, imm=0)    # x[j]
+    b.emit(Opcode.FMADD, rd=0, rs1=1, rs2=2, rs3=0)
+    b.emit(Opcode.ADDI, rd=1, rs1=1, imm=8)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=8)
+    b.emit(Opcode.ADDI, rd=8, rs1=8, imm=1)
+    b.emit(Opcode.BLT, rs1=8, rs2=5, target="col")
+    b.emit(Opcode.SLLI, rd=9, rs1=4, imm=3)
+    b.emit(Opcode.MOVI, rd=10, imm=vec_out)
+    b.emit(Opcode.ADD, rd=10, rs1=10, rs2=9)
+    b.emit(Opcode.FST, rs2=0, rs1=10, imm=0)  # y[i]
+    b.emit(Opcode.ADDI, rd=4, rs1=4, imm=1)
+    b.emit(Opcode.BLT, rs1=4, rs2=5, target="row")
+    b.emit(Opcode.ADDI, rd=6, rs1=6, imm=1)
+    b.emit(Opcode.BLT, rs1=6, rs2=7, target="sweep")
+    b.emit(Opcode.HALT)
+    return b.build()

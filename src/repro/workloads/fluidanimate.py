@@ -1,0 +1,65 @@
+"""fluidanimate — PARSEC's SPH fluid simulation.
+
+Mixed memory/FP behaviour: per particle, load its own state and two
+neighbours' states (strided but multi-stream accesses over arrays that
+exceed the L1), compute pairwise-interaction FP arithmetic (distances,
+kernel weights), and store updated velocity.  Sits between stream and
+blackscholes on the memory/compute axis, like the original.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import float_data
+
+DEFAULT_PARTICLES = 4096  # 3 arrays x 32 KiB
+
+
+def build(iterations: int = 1500, particles: int = DEFAULT_PARTICLES,
+          seed: int | None = None) -> Program:
+    """Build the fluidanimate kernel over ``iterations`` particle updates."""
+    b = ProgramBuilder("fluidanimate")
+    n = particles
+    pos_x = b.alloc_floats(float_data("fluid-x", n, 0.0, 10.0, seed))
+    pos_y = b.alloc_floats(float_data("fluid-y", n, 0.0, 10.0, seed))
+    vel = b.alloc_words(n)
+
+    b.emit(Opcode.MOVI, rd=1, imm=pos_x)
+    b.emit(Opcode.MOVI, rd=2, imm=pos_y)
+    b.emit(Opcode.MOVI, rd=3, imm=vel)
+    b.emit(Opcode.MOVI, rd=4, imm=0)          # particle index
+    b.emit(Opcode.MOVI, rd=5, imm=iterations)
+    b.emit(Opcode.MOVI, rd=6, imm=n - 1)      # wrap mask (n power of two)
+    b.emit(Opcode.FMOVI, rd=10, imm=0.05)     # dt
+    b.emit(Opcode.FMOVI, rd=11, imm=1.0)
+    b.emit(Opcode.FMOVI, rd=12, imm=0.01)     # softening
+
+    b.label("particle")
+    b.emit(Opcode.AND, rd=7, rs1=4, rs2=6)    # i = iter & (n-1)
+    b.emit(Opcode.SLLI, rd=7, rs1=7, imm=3)
+    b.emit(Opcode.ADD, rd=8, rs1=1, rs2=7)
+    b.emit(Opcode.FLD, rd=0, rs1=8, imm=0)    # x[i]
+    b.emit(Opcode.ADD, rd=9, rs1=2, rs2=7)
+    b.emit(Opcode.FLD, rd=1, rs1=9, imm=0)    # y[i]
+    # neighbour i+1 (wrapping handled by array slack: use offset 8)
+    b.emit(Opcode.FLD, rd=2, rs1=8, imm=8)    # x[i+1]
+    b.emit(Opcode.FLD, rd=3, rs1=9, imm=8)    # y[i+1]
+    # squared distance + softening
+    b.emit(Opcode.FSUB, rd=4, rs1=0, rs2=2)
+    b.emit(Opcode.FSUB, rd=5, rs1=1, rs2=3)
+    b.emit(Opcode.FMUL, rd=4, rs1=4, rs2=4)
+    b.emit(Opcode.FMADD, rd=4, rs1=5, rs2=5, rs3=4)
+    b.emit(Opcode.FADD, rd=4, rs1=4, rs2=12)
+    b.emit(Opcode.FSQRT, rd=5, rs1=4)         # distance
+    b.emit(Opcode.FDIV, rd=6, rs1=11, rs2=5)  # 1/r kernel weight
+    # velocity update: v[i] = (x[i]+y[i]) * w * dt
+    b.emit(Opcode.FADD, rd=7, rs1=0, rs2=1)
+    b.emit(Opcode.FMUL, rd=7, rs1=7, rs2=6)
+    b.emit(Opcode.FMUL, rd=7, rs1=7, rs2=10)
+    b.emit(Opcode.ADD, rd=10, rs1=3, rs2=7)
+    b.emit(Opcode.FST, rs2=7, rs1=10, imm=0)
+    b.emit(Opcode.ADDI, rd=4, rs1=4, imm=1)
+    b.emit(Opcode.BLT, rs1=4, rs2=5, target="particle")
+    b.emit(Opcode.HALT)
+    return b.build()

@@ -1,0 +1,58 @@
+"""freqmine — PARSEC's FP-growth frequent-itemset miner.
+
+Integer, pointer-chasing, moderately branchy: the core of FP-growth is
+walking item-prefix tree paths and bumping support counters.  The kernel
+builds a random static tree (parent-pointer array), then repeatedly walks
+from a pseudo-random node up to the root, incrementing each node's count
+— dependent loads (each parent lookup depends on the previous), read-
+modify-write stores, and a data-dependent walk length.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import derive
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import (
+    emit_counted_loop_footer,
+    emit_counted_loop_header,
+    emit_xorshift,
+)
+
+DEFAULT_NODES = 8192  # two words per node: parent index, count
+
+
+def build(walks: int = 1800, nodes: int = DEFAULT_NODES,
+          seed: int | None = None) -> Program:
+    """Build the freqmine kernel performing ``walks`` root-ward walks."""
+    b = ProgramBuilder("freqmine")
+    rng = derive(seed, "freqmine-tree")
+    # parent[i] < i for a well-formed forest rooted at node 0
+    parents = [0] + [rng.randrange(0, i) for i in range(1, nodes)]
+    parent_arr = b.alloc_words(nodes, parents)
+    count_arr = b.alloc_words(nodes)
+
+    b.emit(Opcode.MOVI, rd=1, imm=parent_arr)
+    b.emit(Opcode.MOVI, rd=2, imm=count_arr)
+    b.emit(Opcode.MOVI, rd=5, imm=0x9E3779B97F4A7C15)  # xorshift state
+    b.emit(Opcode.MOVI, rd=6, imm=nodes - 1)           # mask
+    emit_counted_loop_header(b, counter_reg=3, bound_reg=4,
+                             iterations=walks, label="walk")
+    emit_xorshift(b, state_reg=5, tmp_reg=10)
+    b.emit(Opcode.AND, rd=11, rs1=5, rs2=6)     # start node
+    b.label("climb")
+    b.emit(Opcode.SLLI, rd=12, rs1=11, imm=3)
+    b.emit(Opcode.ADD, rd=13, rs1=2, rs2=12)
+    b.emit(Opcode.LD, rd=14, rs1=13, imm=0)     # count[node]
+    b.emit(Opcode.ADDI, rd=14, rs1=14, imm=1)
+    b.emit(Opcode.ST, rs2=14, rs1=13, imm=0)    # count[node]++
+    b.emit(Opcode.ADD, rd=13, rs1=1, rs2=12)
+    b.emit(Opcode.LD, rd=11, rs1=13, imm=0)     # node = parent[node]
+    b.emit(Opcode.BNE, rs1=11, rs2=0, target="climb")
+    # bump the root once per walk
+    b.emit(Opcode.LD, rd=14, rs1=2, imm=0)
+    b.emit(Opcode.ADDI, rd=14, rs1=14, imm=1)
+    b.emit(Opcode.ST, rs2=14, rs1=2, imm=0)
+    emit_counted_loop_footer(b, counter_reg=3, bound_reg=4, label="walk")
+    b.emit(Opcode.HALT)
+    return b.build()

@@ -1,0 +1,50 @@
+"""randacc — HPCC RandomAccess (GUPS).
+
+The paper's extreme *irregular memory-bound* point: random read-modify-
+write updates over a table much larger than the L2, giving near-zero
+temporal/spatial locality, a very low main-core IPC, and — in the paper's
+results — the highest mean detection delay (log segments fill slowly, so
+early entries wait a long time for their check to start).
+
+Kernel per update, exactly as HPCC:
+``idx = prng(); table[idx] ^= prng_value`` — one dependent load, one XOR,
+one store, plus the xorshift index generation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import (
+    emit_counted_loop_footer,
+    emit_counted_loop_header,
+    emit_xorshift,
+)
+
+#: table of 2^18 words = 2 MiB, twice the L2 (Table I), as RandomAccess
+#: requires the table to dwarf the caches.
+DEFAULT_TABLE_WORDS_LOG2 = 18
+
+
+def build(iterations: int = 4000,
+          table_words_log2: int = DEFAULT_TABLE_WORDS_LOG2) -> Program:
+    """Build the randacc kernel with ``iterations`` updates."""
+    b = ProgramBuilder("randacc")
+    table_words = 1 << table_words_log2
+    table = b.alloc_words(table_words)  # zero-initialised, touched on demand
+
+    b.emit(Opcode.MOVI, rd=1, imm=table)
+    b.emit(Opcode.MOVI, rd=2, imm=0x2545F4914F6CDD1D)  # xorshift state
+    b.emit(Opcode.MOVI, rd=5, imm=table_words - 1)     # index mask
+    emit_counted_loop_header(b, counter_reg=3, bound_reg=4,
+                             iterations=iterations, label="update")
+    emit_xorshift(b, state_reg=2, tmp_reg=10)
+    b.emit(Opcode.AND, rd=11, rs1=2, rs2=5)        # idx = state & mask
+    b.emit(Opcode.SLLI, rd=11, rs1=11, imm=3)
+    b.emit(Opcode.ADD, rd=12, rs1=1, rs2=11)       # &table[idx]
+    b.emit(Opcode.LD, rd=13, rs1=12, imm=0)
+    b.emit(Opcode.XOR, rd=13, rs1=13, rs2=2)       # table[idx] ^= state
+    b.emit(Opcode.ST, rs2=13, rs1=12, imm=0)
+    emit_counted_loop_footer(b, counter_reg=3, bound_reg=4, label="update")
+    b.emit(Opcode.HALT)
+    return b.build()

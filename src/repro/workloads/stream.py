@@ -1,0 +1,93 @@
+"""stream — HPCC/McCalpin STREAM.
+
+The paper's extreme *regular memory-bound* point: sequential double-
+precision sweeps (COPY, SCALE, ADD, TRIAD) through arrays larger than the
+caches.  On the main core this gives a low IPC limited by memory latency
+and bandwidth; the checker cores see no data misses at all (their data
+comes from the log), which is why stream barely degrades even at 125 MHz
+checkers in Figure 9.
+
+Footprint substitution: real STREAM is bandwidth-bound because its arrays
+dwarf the LLC, so at cache-line granularity *every* line is a miss.  To
+keep trace lengths tractable we stride one element per 64-byte line — the
+same every-access-misses behaviour with 8× fewer instructions per line.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import float_data
+
+#: bytes between consecutive elements: one element per cache line
+ELEMENT_STRIDE = 64
+
+
+def build(elements: int = 2000, array_words: int | None = None,
+          seed: int | None = None) -> Program:
+    """Build one pass of the four STREAM kernels over ``elements`` doubles.
+
+    ``elements`` bounds the trace length; each element occupies its own
+    cache line (see module docstring), so the per-array footprint is
+    ``elements * 64`` bytes unless ``array_words`` caps it.
+    """
+    b = ProgramBuilder("stream")
+    stride_words = ELEMENT_STRIDE // 8
+    words_needed = elements * stride_words
+    n = elements if array_words is None else min(elements,
+                                                 array_words // stride_words)
+    footprint = n * stride_words if array_words is None else array_words
+    seed_values = float_data("stream-a", n, seed=seed)
+    a = b.alloc_words(footprint)
+    for i, value in enumerate(seed_values):
+        b.put_float(a + i * ELEMENT_STRIDE, value)
+    c_arr = b.alloc_words(footprint)
+    bb = b.alloc_words(footprint)
+
+    b.emit(Opcode.FMOVI, rd=8, imm=3.0)  # scalar q
+
+    def sweep(label: str, body) -> None:
+        b.emit(Opcode.MOVI, rd=1, imm=a)
+        b.emit(Opcode.MOVI, rd=2, imm=bb)
+        b.emit(Opcode.MOVI, rd=3, imm=c_arr)
+        b.emit(Opcode.MOVI, rd=4, imm=0)
+        b.emit(Opcode.MOVI, rd=5, imm=n)
+        b.label(label)
+        body()
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=ELEMENT_STRIDE)
+        b.emit(Opcode.ADDI, rd=2, rs1=2, imm=ELEMENT_STRIDE)
+        b.emit(Opcode.ADDI, rd=3, rs1=3, imm=ELEMENT_STRIDE)
+        b.emit(Opcode.ADDI, rd=4, rs1=4, imm=1)
+        b.emit(Opcode.BLT, rs1=4, rs2=5, target=label)
+
+    # COPY: c[i] = a[i]
+    def copy_body() -> None:
+        b.emit(Opcode.FLD, rd=0, rs1=1, imm=0)
+        b.emit(Opcode.FST, rs2=0, rs1=3, imm=0)
+    sweep("copy", copy_body)
+
+    # SCALE: b[i] = q * c[i]
+    def scale_body() -> None:
+        b.emit(Opcode.FLD, rd=0, rs1=3, imm=0)
+        b.emit(Opcode.FMUL, rd=1, rs1=0, rs2=8)
+        b.emit(Opcode.FST, rs2=1, rs1=2, imm=0)
+    sweep("scale", scale_body)
+
+    # ADD: c[i] = a[i] + b[i]
+    def add_body() -> None:
+        b.emit(Opcode.FLD, rd=0, rs1=1, imm=0)
+        b.emit(Opcode.FLD, rd=1, rs1=2, imm=0)
+        b.emit(Opcode.FADD, rd=2, rs1=0, rs2=1)
+        b.emit(Opcode.FST, rs2=2, rs1=3, imm=0)
+    sweep("add", add_body)
+
+    # TRIAD: a[i] = b[i] + q * c[i]
+    def triad_body() -> None:
+        b.emit(Opcode.FLD, rd=0, rs1=2, imm=0)
+        b.emit(Opcode.FLD, rd=1, rs1=3, imm=0)
+        b.emit(Opcode.FMADD, rd=2, rs1=1, rs2=8, rs3=0)
+        b.emit(Opcode.FST, rs2=2, rs1=1, imm=0)
+    sweep("triad", triad_body)
+
+    b.emit(Opcode.HALT)
+    return b.build()

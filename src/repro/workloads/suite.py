@@ -1,0 +1,130 @@
+"""The benchmark suite registry (paper Table II).
+
+Each entry maps a paper benchmark to its kernel builder with two parameter
+scales:
+
+* ``small`` — a few thousand dynamic instructions, for the test suite;
+* ``default`` — tens of thousands of dynamic instructions, used by the
+  benchmark harness to regenerate the paper's figures in reasonable time.
+
+Traces are cached per (name, scale): the functional execution is identical
+across timing configurations, so parameter sweeps re-time the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.executor import Trace, execute_program
+from repro.isa.program import Program
+from repro.workloads import (
+    bitcount,
+    blackscholes,
+    bodytrack,
+    facesim,
+    fluidanimate,
+    freqmine,
+    randacc,
+    stream,
+    swaptions,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table II row."""
+
+    name: str
+    source: str
+    paper_input: str
+    character: str
+    build_default: Callable[[], Program]
+    build_small: Callable[[], Program]
+
+
+BENCHMARKS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            "randacc", "HPCC", "100000000", "irregular memory-bound",
+            lambda: randacc.build(iterations=3500),
+            lambda: randacc.build(iterations=250, table_words_log2=14),
+        ),
+        WorkloadSpec(
+            "stream", "HPCC", "(default)", "regular memory-bound",
+            lambda: stream.build(elements=2200),
+            lambda: stream.build(elements=150),
+        ),
+        WorkloadSpec(
+            "bitcount", "MiBench", "75000", "pure compute (integer)",
+            lambda: bitcount.build(iterations=350),
+            lambda: bitcount.build(iterations=40),
+        ),
+        WorkloadSpec(
+            "blackscholes", "Parsec", "simsmall", "FP compute",
+            lambda: blackscholes.build(options=800),
+            lambda: blackscholes.build(options=60),
+        ),
+        WorkloadSpec(
+            "fluidanimate", "Parsec", "simsmall", "mixed memory/FP",
+            lambda: fluidanimate.build(iterations=1600),
+            lambda: fluidanimate.build(iterations=120, particles=512),
+        ),
+        WorkloadSpec(
+            "swaptions", "Parsec", "simsmall", "FP compute, serial chains",
+            lambda: swaptions.build(paths=220),
+            lambda: swaptions.build(paths=18),
+        ),
+        WorkloadSpec(
+            "freqmine", "Parsec", "simsmall", "integer pointer-chasing",
+            lambda: freqmine.build(walks=1000),
+            lambda: freqmine.build(walks=130, nodes=1024),
+        ),
+        WorkloadSpec(
+            "bodytrack", "Parsec", "simsmall", "mixed, branchy",
+            lambda: bodytrack.build(iterations=1800),
+            lambda: bodytrack.build(iterations=140, particles=512),
+        ),
+        WorkloadSpec(
+            "facesim", "Parsec", "simsmall", "regular dense FP",
+            lambda: facesim.build(sweeps=4),
+            lambda: facesim.build(sweeps=1, dim=24),
+        ),
+    ]
+}
+
+#: Paper ordering for figures (Table II order).
+BENCHMARK_ORDER = [
+    "randacc", "stream", "bitcount", "blackscholes", "fluidanimate",
+    "swaptions", "freqmine", "bodytrack", "facesim",
+]
+
+_TRACE_CACHE: dict[tuple[str, str], Trace] = {}
+
+
+def build_benchmark(name: str, scale: str = "default") -> Program:
+    """Build the named benchmark's program at the given scale."""
+    spec = BENCHMARKS[name]
+    if scale == "default":
+        return spec.build_default()
+    if scale == "small":
+        return spec.build_small()
+    raise KeyError(f"unknown scale {scale!r}; use 'default' or 'small'")
+
+
+def benchmark_trace(name: str, scale: str = "default") -> Trace:
+    """The committed fault-free trace of a benchmark (cached)."""
+    key = (name, scale)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = execute_program(build_benchmark(name, scale))
+    return _TRACE_CACHE[key]
+
+
+def table2_rows() -> list[tuple[str, str, str]]:
+    """Render Table II as (benchmark, source, input) rows."""
+    return [
+        (spec.name, spec.source, spec.paper_input)
+        for name in BENCHMARK_ORDER
+        for spec in [BENCHMARKS[name]]
+    ]

@@ -1,0 +1,72 @@
+"""swaptions — PARSEC's Monte-Carlo HJM swaption pricer.
+
+Nearly pure FP compute with *long dependency chains*: each simulated path
+advances a forward rate step by step, each step depending on the last, fed
+by PRNG draws.  Long serial FP chains are the worst case for the scalar
+in-order checkers relative to the OoO main core, making swaptions one of
+the most checker-frequency-sensitive benchmarks in Figure 9 — behaviour
+this kernel reproduces.
+
+Includes RDRAND in the path loop, exercising the paper's non-deterministic
+result forwarding through the load-store log (§IV-D): the checkers must
+consume the same draws the main core saw.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+STEPS_PER_PATH = 16
+
+
+def build(paths: int = 250, steps: int = STEPS_PER_PATH) -> Program:
+    """Build the swaptions kernel over ``paths`` Monte-Carlo paths."""
+    b = ProgramBuilder("swaptions")
+    payoffs = b.alloc_words(paths)
+    # per-step simulated forward-rate path (HJM stores the rate surface)
+    rate_path = b.alloc_words(steps)
+
+    b.emit(Opcode.MOVI, rd=1, imm=payoffs)
+    b.emit(Opcode.MOVI, rd=2, imm=0)          # path index
+    b.emit(Opcode.MOVI, rd=3, imm=paths)
+    b.emit(Opcode.MOVI, rd=6, imm=steps)
+    b.emit(Opcode.MOVI, rd=8, imm=0xFFFFF)    # draw mask
+    b.emit(Opcode.FMOVI, rd=10, imm=0.04)     # initial rate
+    b.emit(Opcode.FMOVI, rd=11, imm=0.002)    # drift
+    b.emit(Opcode.FMOVI, rd=12, imm=0.0000019)  # vol scale (per draw unit)
+    b.emit(Opcode.FMOVI, rd=13, imm=524288.0)   # draw midpoint (2^19)
+    b.emit(Opcode.FMOVI, rd=14, imm=0.045)    # strike rate
+
+    b.label("path")
+    b.emit(Opcode.FMOV, rd=0, rs1=10)         # rate = r0
+    b.emit(Opcode.MOVI, rd=5, imm=0)          # step
+    b.label("step")
+    # centred uniform draw from RDRAND, forwarded via the log on replay
+    b.emit(Opcode.RDRAND, rd=9)
+    b.emit(Opcode.AND, rd=9, rs1=9, rs2=8)
+    b.emit(Opcode.FCVT_I2F, rd=1, rs1=9)
+    b.emit(Opcode.FSUB, rd=1, rs1=1, rs2=13)  # draw - midpoint
+    b.emit(Opcode.FMUL, rd=1, rs1=1, rs2=12)  # shock
+    # rate evolves serially: rate += drift*rate + shock  (dependent chain)
+    b.emit(Opcode.FMUL, rd=2, rs1=0, rs2=11)
+    b.emit(Opcode.FADD, rd=2, rs1=2, rs2=1)
+    b.emit(Opcode.FADD, rd=0, rs1=0, rs2=2)
+    # record the evolved rate in the path surface (as HJM does)
+    b.emit(Opcode.MOVI, rd=4, imm=rate_path)
+    b.emit(Opcode.SLLI, rd=10, rs1=5, imm=3)
+    b.emit(Opcode.ADD, rd=4, rs1=4, rs2=10)
+    b.emit(Opcode.FST, rs2=0, rs1=4, imm=0)
+    b.emit(Opcode.ADDI, rd=5, rs1=5, imm=1)
+    b.emit(Opcode.BLT, rs1=5, rs2=6, target="step")
+    # payoff = max(rate - strike, 0)
+    b.emit(Opcode.FSUB, rd=3, rs1=0, rs2=14)
+    b.emit(Opcode.FMOVI, rd=4, imm=0.0)
+    b.emit(Opcode.FMAX, rd=3, rs1=3, rs2=4)
+    b.emit(Opcode.SLLI, rd=7, rs1=2, imm=3)
+    b.emit(Opcode.ADD, rd=7, rs1=1, rs2=7)
+    b.emit(Opcode.FST, rs2=3, rs1=7, imm=0)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)
+    b.emit(Opcode.BLT, rs1=2, rs2=3, target="path")
+    b.emit(Opcode.HALT)
+    return b.build()

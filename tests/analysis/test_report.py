@@ -1,0 +1,73 @@
+"""Tests for report formatting and delay analytics."""
+
+import pytest
+
+from repro.analysis.delay import density_series, summarize_delays
+from repro.analysis.report import (
+    delay_table,
+    format_table,
+    series_block,
+    slowdown_table,
+)
+from repro.common.stats import Samples
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table("T", ["a", "long_header"],
+                            [["x", "1"], ["yy", "22"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        # all data rows have aligned columns
+        assert lines[4].startswith("x ")
+        assert lines[5].startswith("yy")
+
+
+class TestSlowdownTable:
+    def test_geomean_row(self):
+        text = slowdown_table("S", ["c1"], {"a": [1.0], "b": [4.0]},
+                              ["a", "b"])
+        assert "geomean" in text
+        assert "2.000" in text  # sqrt(1*4)
+
+    def test_order_respected(self):
+        text = slowdown_table("S", ["c1"], {"a": [1.0], "b": [2.0]},
+                              ["b", "a"])
+        assert text.index("b ") < text.index("a ")
+
+    def test_missing_benchmarks_skipped(self):
+        text = slowdown_table("S", ["c1"], {"a": [1.0]}, ["a", "zz"])
+        assert "zz" not in text
+
+
+class TestDelayTable:
+    def test_unit_in_header(self):
+        text = delay_table("D", ["100MHz"], {"a": [123.4]}, ["a"])
+        assert "100MHz (ns)" in text
+        assert "123" in text
+
+
+class TestSeriesBlock:
+    def test_subsampling(self):
+        series = {"x": [(float(i), 0.1) for i in range(100)]}
+        text = series_block("B", series, "t", "d", points=5)
+        assert text.count(":") <= 6
+
+
+class TestDelaySummary:
+    def test_summary_fields(self):
+        s = Samples()
+        s.extend([100.0] * 999 + [9999.0])
+        summary = summarize_delays("bench", s)
+        assert summary.mean_ns == pytest.approx(109.9, rel=0.01)
+        assert summary.max_ns == 9999.0
+        assert summary.fraction_within_5us == pytest.approx(0.999)
+        assert summary.samples == 1000
+
+    def test_density_series_range(self):
+        s = Samples()
+        s.extend([100.0, 200.0, 300.0])
+        pts = density_series(s, bins=10, hi_ns=1000.0)
+        assert len(pts) == 10
+        assert all(0 <= x <= 1000 for x, _d in pts)

@@ -1,0 +1,81 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(30, "c")
+        q.schedule(10, "a")
+        q.schedule(20, "b")
+        assert [q.pop() for _ in range(3)] == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        for payload in ("first", "second", "third"):
+            q.schedule(5, payload)
+        assert [q.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(7, None)
+        assert q.peek_time() == 7
+        assert len(q) == 1
+
+    def test_pop_until(self):
+        q = EventQueue()
+        for t in (1, 5, 9, 12):
+            q.schedule(t, t)
+        drained = list(q.pop_until(9))
+        assert [t for t, _p in drained] == [1, 5, 9]
+        assert q.peek_time() == 12
+
+    def test_bool_and_clear(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1, None)
+        assert q
+        q.clear()
+        assert not q
+
+
+class TestSimulator:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, lambda t: log.append(("a", t)))
+        sim.at(5, lambda t: log.append(("b", t)))
+        end = sim.run()
+        assert log == [("b", 5), ("a", 10)]
+        assert end == 10
+
+    def test_actions_can_schedule(self):
+        sim = Simulator()
+        log = []
+
+        def first(t):
+            log.append(t)
+            sim.after(5, lambda t2: log.append(t2))
+
+        sim.at(1, first)
+        sim.run()
+        assert log == [1, 6]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.at(1, lambda t: log.append(t))
+        sim.at(100, lambda t: log.append(t))
+        sim.run(until=50)
+        assert log == [1]
+        assert sim.queue.peek_time() == 100
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(10, lambda t: sim.at(5, lambda t2: None))
+        with pytest.raises(ValueError):
+            sim.run()

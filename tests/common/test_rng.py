@@ -1,0 +1,33 @@
+"""Tests for deterministic RNG helpers."""
+
+from repro.common.rng import DEFAULT_SEED, derive, make_rng
+
+
+def test_default_seed_deterministic():
+    assert make_rng().random() == make_rng().random()
+
+
+def test_explicit_seed():
+    assert make_rng(42).random() == make_rng(42).random()
+    assert make_rng(42).random() != make_rng(43).random()
+
+
+def test_derive_independent_streams():
+    a = derive(1, "workload")
+    b = derive(1, "faults")
+    assert a.random() != b.random()
+
+
+def test_derive_deterministic():
+    assert derive(7, "x").random() == derive(7, "x").random()
+
+
+def test_derive_from_none_uses_default():
+    assert derive(None, "x").random() == derive(DEFAULT_SEED, "x").random()
+
+
+def test_derive_from_rng_consumes_state():
+    base1, base2 = make_rng(5), make_rng(5)
+    first = derive(base1, "salt")
+    second = derive(base2, "salt")
+    assert first.random() == second.random()

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import default_config
+from repro.isa.executor import execute_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+
+def build_rmw_loop(iterations: int = 400, array_words: int = 64,
+                   name: str = "rmw") -> Program:
+    """A small read-modify-write loop: the workhorse test program.
+
+    Per iteration: index arithmetic, one load, one add, one store, one
+    backward branch — exercises every detection path (loads, stores,
+    checkpoints) with a short, predictable body.
+    """
+    b = ProgramBuilder(name)
+    data = b.alloc_words(array_words, list(range(array_words)))
+    b.emit(Opcode.MOVI, rd=1, imm=data)
+    b.emit(Opcode.MOVI, rd=2, imm=0)
+    b.emit(Opcode.MOVI, rd=3, imm=iterations)
+    b.label("loop")
+    b.emit(Opcode.ANDI, rd=4, rs1=2, imm=array_words - 1)
+    b.emit(Opcode.SLLI, rd=4, rs1=4, imm=3)
+    b.emit(Opcode.ADD, rd=5, rs1=1, rs2=4)
+    b.emit(Opcode.LD, rd=6, rs1=5, imm=0)
+    b.emit(Opcode.ADDI, rd=6, rs1=6, imm=1)
+    b.emit(Opcode.ST, rs2=6, rs1=5, imm=0)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)
+    b.emit(Opcode.BLT, rs1=2, rs2=3, target="loop")
+    b.emit(Opcode.HALT)
+    return b.build()
+
+
+def build_alu_loop(iterations: int = 600, name: str = "alu") -> Program:
+    """A compute-only loop (no loads/stores except one final store):
+    exercises timeout-driven segment closure."""
+    b = ProgramBuilder(name)
+    out = b.alloc_words(1)
+    b.emit(Opcode.MOVI, rd=1, imm=1)
+    b.emit(Opcode.MOVI, rd=2, imm=0)
+    b.emit(Opcode.MOVI, rd=3, imm=iterations)
+    b.label("loop")
+    b.emit(Opcode.ADD, rd=1, rs1=1, rs2=1)
+    b.emit(Opcode.XORI, rd=1, rs1=1, imm=0x5A5A)
+    b.emit(Opcode.SRLI, rd=4, rs1=1, imm=3)
+    b.emit(Opcode.ADD, rd=1, rs1=1, rs2=4)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)
+    b.emit(Opcode.BLT, rs1=2, rs2=3, target="loop")
+    b.emit(Opcode.MOVI, rd=5, imm=out)
+    b.emit(Opcode.ST, rs2=1, rs1=5, imm=0)
+    b.emit(Opcode.HALT)
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def rmw_program():
+    return build_rmw_loop()
+
+
+@pytest.fixture(scope="session")
+def rmw_trace(rmw_program):
+    return execute_program(rmw_program)
+
+
+@pytest.fixture(scope="session")
+def alu_program():
+    return build_alu_loop()
+
+
+@pytest.fixture(scope="session")
+def alu_trace(alu_program):
+    return execute_program(alu_program)

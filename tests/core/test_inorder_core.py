@@ -1,0 +1,136 @@
+"""Behavioural tests for the in-order checker-core timing model."""
+
+from repro.common.config import CheckerConfig
+from repro.core.inorder_core import (
+    CHECKPOINT_COMPARE_CYCLES,
+    InOrderCoreModel,
+    TAKEN_BRANCH_PENALTY,
+)
+from repro.isa.instructions import Opcode
+from repro.isa.meta import program_meta
+from repro.isa.program import ProgramBuilder
+from repro.memory.hierarchy import CheckerICaches
+
+
+def model(core_id=0):
+    cfg = CheckerConfig()
+    return InOrderCoreModel(cfg, CheckerICaches(cfg), core_id)
+
+
+def straightline_steps(ops, reps=1):
+    b = ProgramBuilder("t")
+    for op, kwargs in ops:
+        b.emit(op, **kwargs)
+    b.emit(Opcode.HALT)
+    p = b.build()
+    steps = [(i, False) for i in range(len(ops))] * reps
+    return steps, program_meta(p)
+
+
+class TestScalarPipeline:
+    def test_independent_ops_one_per_cycle(self):
+        ops = [(Opcode.ADDI, dict(rd=1 + (i % 8), rs1=0, imm=i))
+               for i in range(64)]
+        steps, metas = straightline_steps(ops)
+        # warm the icache with a first run, measure the second
+        m = model()
+        m.run_segment(steps, metas)
+        timing = m.run_segment(steps, metas, start_cycle=10_000)
+        body = timing.total_cycles - CHECKPOINT_COMPARE_CYCLES
+        assert body <= len(steps) + 8  # ~1 IPC once warm
+
+    def test_dependent_long_latency_interlocks(self):
+        dep = [(Opcode.MUL, dict(rd=1, rs1=1, rs2=1)) for _ in range(32)]
+        ind = [(Opcode.MUL, dict(rd=1 + (i % 8), rs1=9, rs2=10))
+               for i in range(32)]
+        dep_steps, dep_metas = straightline_steps(dep)
+        ind_steps, ind_metas = straightline_steps(ind)
+        m1, m2 = model(), model()
+        m1.run_segment(dep_steps, dep_metas)
+        m2.run_segment(ind_steps, ind_metas)
+        t_dep = m1.run_segment(dep_steps, dep_metas, start_cycle=10_000)
+        t_ind = m2.run_segment(ind_steps, ind_metas, start_cycle=10_000)
+        # dependent MULs stall ~3 cycles each; independent ones pipeline
+        assert t_dep.total_cycles > 1.8 * t_ind.total_cycles
+
+    def test_non_pipelined_div_blocks(self):
+        divs = [(Opcode.DIV, dict(rd=1 + (i % 8), rs1=9, rs2=10))
+                for i in range(16)]
+        steps, metas = straightline_steps(divs)
+        m = model()
+        m.run_segment(steps, metas)
+        t = m.run_segment(steps, metas, start_cycle=10_000)
+        body = t.total_cycles - CHECKPOINT_COMPARE_CYCLES
+        assert body >= 16 * 12  # divider occupies the pipe
+
+
+class TestLogReads:
+    def test_loads_are_single_cycle(self):
+        """Checker loads come from the log, not a cache — a load-heavy
+        segment should run at ~1 instruction per cycle."""
+        loads = [(Opcode.LD, dict(rd=1 + (i % 8), rs1=9, imm=8 * i))
+                 for i in range(64)]
+        steps, metas = straightline_steps(loads)
+        m = model()
+        m.run_segment(steps, metas)
+        t = m.run_segment(steps, metas, start_cycle=10_000)
+        body = t.total_cycles - CHECKPOINT_COMPARE_CYCLES
+        assert body <= len(steps) + 8
+
+    def test_entry_check_cycles_per_memop(self):
+        ops = [(Opcode.LD, dict(rd=1, rs1=9, imm=0)),
+               (Opcode.ST, dict(rs2=1, rs1=9, imm=8)),
+               (Opcode.LDP, dict(rd=2, rd2=3, rs1=9, imm=16))]
+        steps, metas = straightline_steps(ops)
+        t = model().run_segment(steps, metas)
+        # LD -> 1 entry, ST -> 1 entry, LDP -> 2 entries
+        assert len(t.entry_check_cycles) == 4
+        assert t.entry_check_cycles == sorted(t.entry_check_cycles)
+
+    def test_nondet_produces_entry(self):
+        ops = [(Opcode.RDRAND, dict(rd=1))]
+        steps, metas = straightline_steps(ops)
+        t = model().run_segment(steps, metas)
+        assert len(t.entry_check_cycles) == 1
+
+
+class TestBranches:
+    def test_taken_branch_penalty(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)      # pc 0
+        b.emit(Opcode.BNE, rs1=1, rs2=0, target=0)   # pc 1
+        b.emit(Opcode.HALT)
+        metas = program_meta(b.build())
+        n = 32
+        taken_steps = [(0, False), (1, True)] * n
+        untaken_steps = [(0, False), (1, False)] * n
+        m1, m2 = model(), model()
+        m1.run_segment(taken_steps, metas)
+        m2.run_segment(untaken_steps, metas)
+        t_taken = m1.run_segment(taken_steps, metas, start_cycle=10_000)
+        t_untaken = m2.run_segment(untaken_steps, metas, start_cycle=10_000)
+        assert (t_taken.total_cycles
+                >= t_untaken.total_cycles + n * TAKEN_BRANCH_PENALTY - 8)
+
+
+class TestSegmentCost:
+    def test_checkpoint_compare_included(self):
+        steps, metas = straightline_steps([(Opcode.NOP, {})])
+        t = model().run_segment(steps, metas)
+        assert t.total_cycles >= CHECKPOINT_COMPARE_CYCLES
+
+    def test_empty_segment(self):
+        steps, metas = straightline_steps([(Opcode.NOP, {})])
+        t = model().run_segment([], metas)
+        assert t.total_cycles == CHECKPOINT_COMPARE_CYCLES
+        assert t.entry_check_cycles == []
+
+    def test_absolute_time_domain(self):
+        """Runs at a later start_cycle must report *relative* cycles."""
+        ops = [(Opcode.ADDI, dict(rd=1, rs1=1, imm=1)) for _ in range(16)]
+        steps, metas = straightline_steps(ops)
+        m = model()
+        first = m.run_segment(steps, metas, start_cycle=0)
+        second = m.run_segment(steps, metas, start_cycle=50_000)
+        # both totals are segment-relative and of similar magnitude
+        assert abs(first.total_cycles - second.total_cycles) < 64

@@ -1,0 +1,28 @@
+"""Tests for the functional-unit latency table."""
+
+from repro.core.latencies import NON_PIPELINED, execute_latency
+from repro.isa.instructions import Opcode
+
+
+def test_simple_ops_single_cycle():
+    for op in (Opcode.ADD, Opcode.ADDI, Opcode.XOR, Opcode.MOVI, Opcode.NOP):
+        assert execute_latency(op) == 1
+
+
+def test_long_latency_ops():
+    assert execute_latency(Opcode.MUL) > 1
+    assert execute_latency(Opcode.DIV) > execute_latency(Opcode.MUL)
+    assert execute_latency(Opcode.FDIV) > execute_latency(Opcode.FMUL)
+    assert execute_latency(Opcode.FSQRT) >= execute_latency(Opcode.FDIV)
+
+
+def test_non_pipelined_are_dividers():
+    assert Opcode.DIV in NON_PIPELINED
+    assert Opcode.FDIV in NON_PIPELINED
+    assert Opcode.FSQRT in NON_PIPELINED
+    assert Opcode.ADD not in NON_PIPELINED
+
+
+def test_every_opcode_has_a_latency():
+    for op in Opcode:
+        assert execute_latency(op) >= 1

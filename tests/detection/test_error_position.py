@@ -1,0 +1,63 @@
+"""Tests for first-error identification (§IV).
+
+The paper: "if an error is detected within a check, we do not know if it
+was the first error until all previous checks complete. Once that happens,
+our system provides sufficient information to identify ... the position of
+that first error."
+"""
+
+from repro.common.config import default_config
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.detection.system import run_with_detection
+from repro.isa.executor import execute_program
+
+from tests.conftest import build_rmw_loop
+
+
+def run_with_faults(faults, iterations=400):
+    program = build_rmw_loop(iterations=iterations)
+    injector = FaultInjector(faults)
+    trace = execute_program(program, fault_injector=injector)
+    return run_with_detection(trace, default_config())
+
+
+class TestFirstErrorPosition:
+    def test_none_when_clean(self, rmw_trace, config):
+        result = run_with_detection(rmw_trace, config)
+        assert result.report.first_error_position() is None
+
+    def test_single_fault_position(self):
+        result = run_with_faults(
+            [TransientFault(FaultSite.STORE_VALUE, seq=3 + 8 * 100 + 5,
+                            bit=3)])
+        position = result.report.first_error_position()
+        assert position is not None
+        segment_index, entry_index = position
+        # iteration 100 -> entry ~200 of the run -> segment 1 (192/segment)
+        assert segment_index == 1
+        assert entry_index is not None
+
+    def test_two_faults_earliest_wins(self):
+        early = TransientFault(FaultSite.STORE_VALUE, seq=3 + 8 * 30 + 5,
+                               bit=3)
+        late = TransientFault(FaultSite.STORE_VALUE, seq=3 + 8 * 350 + 5,
+                              bit=3)
+        result = run_with_faults([early, late])
+        both = run_with_faults([late])
+        first_seg, _entry = result.report.first_error_position()
+        late_seg, _entry2 = both.report.first_error_position()
+        assert first_seg < late_seg
+        assert len(result.report.events) >= 2
+
+    def test_position_ordering_vs_detect_time(self):
+        """Program-order-first and detect-time-first can differ: the
+        position API must use segment order (the induction order), not
+        wall-clock detection order."""
+        early = TransientFault(FaultSite.STORE_VALUE, seq=3 + 8 * 30 + 5,
+                               bit=3)
+        late = TransientFault(FaultSite.STORE_VALUE, seq=3 + 8 * 350 + 5,
+                              bit=3)
+        result = run_with_faults([early, late])
+        seg_first, _ = result.report.first_error_position()
+        segments = sorted(e.error.segment_index for e in result.report.events)
+        assert seg_first == segments[0]

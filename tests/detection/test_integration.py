@@ -1,0 +1,205 @@
+"""End-to-end fault-injection integration tests.
+
+The detection pipeline is exercised exactly as a user would: corrupt the
+main core's execution, run the protected system, and confirm the checker
+cores catch everything that is architecturally visible.
+"""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.common.rng import derive
+from repro.detection.checker import ErrorKind
+from repro.detection.faults import (
+    FaultInjector,
+    FaultSite,
+    HardFault,
+    TransientFault,
+)
+from repro.detection.system import run_with_detection
+from repro.isa.executor import LOAD, STORE, Trace, execute_program
+from repro.isa.instructions import Opcode
+
+from tests.conftest import build_rmw_loop
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_rmw_loop(iterations=300)
+
+
+@pytest.fixture(scope="module")
+def clean(program):
+    return execute_program(program)
+
+
+def masked(clean: Trace, faulty: Trace) -> bool:
+    if len(clean) != len(faulty):
+        return False
+    if clean.final_xregs != faulty.final_xregs:
+        return False
+    if clean.final_fregs != faulty.final_fregs:
+        return False
+    return ({a: v for a, v in clean.memory.items() if v}
+            == {a: v for a, v in faulty.memory.items() if v})
+
+
+def detect(program, fault, config=None):
+    injector = FaultInjector([fault])
+    trace = execute_program(program, fault_injector=injector)
+    result = run_with_detection(trace, config or default_config())
+    return injector, trace, result
+
+
+SEQ_OF = {
+    # offsets within the 8-instruction loop body (preamble is 3 instrs)
+    "ANDI": 0, "SLLI": 1, "ADD": 2, "LD": 3,
+    "ADDI": 4, "ST": 5, "ADDI2": 6, "BLT": 7,
+}
+
+
+def body_seq(iteration, instr):
+    return 3 + 8 * iteration + SEQ_OF[instr]
+
+
+class TestSiteCoverage:
+    @pytest.mark.parametrize("site,instr,expected_kinds", [
+        (FaultSite.RESULT, "ANDI",
+         {ErrorKind.LOAD_ADDR_MISMATCH, ErrorKind.STORE_ADDR_MISMATCH}),
+        (FaultSite.RESULT, "ADDI",
+         {ErrorKind.STORE_VALUE_MISMATCH}),
+        (FaultSite.LOAD_VALUE, "LD",
+         {ErrorKind.STORE_VALUE_MISMATCH}),
+        (FaultSite.LOAD_ADDR, "LD",
+         {ErrorKind.LOAD_ADDR_MISMATCH}),
+        (FaultSite.STORE_VALUE, "ST",
+         {ErrorKind.STORE_VALUE_MISMATCH}),
+        (FaultSite.STORE_ADDR, "ST",
+         {ErrorKind.STORE_ADDR_MISMATCH}),
+    ])
+    def test_detected_with_right_comparison(self, program, site, instr,
+                                            expected_kinds):
+        fault = TransientFault(site, seq=body_seq(150, instr), bit=4)
+        injector, _trace, result = detect(program, fault)
+        assert injector.activations
+        assert result.report.detected
+        assert result.report.first_event.error.kind in expected_kinds
+
+    def test_branch_fault_detected(self, program):
+        fault = TransientFault(FaultSite.BRANCH, seq=body_seq(150, "BLT"))
+        injector, _trace, result = detect(program, fault)
+        assert injector.activations
+        assert result.report.detected
+
+    def test_pc_fault_detected(self, program):
+        fault = TransientFault(FaultSite.PC, seq=body_seq(150, "SLLI"), bit=2)
+        injector, _trace, result = detect(program, fault)
+        assert injector.activations
+        assert result.report.detected
+
+    def test_hard_fault_detected_repeatedly(self, program):
+        # a permanently broken load unit: every loaded value is corrupted
+        # after LFU capture, so every segment's store checks fail (data
+        # path only — address-path hard faults crash the program instead,
+        # covered by TestCrashingFaults)
+        injector, _trace, result = detect(
+            program, HardFault(Opcode.LD, mask=1 << 2, start_seq=500))
+        assert result.report.detected
+        assert len(result.report.events) > 3  # many failing segments
+
+
+class TestNoSilentCorruption:
+    def test_random_campaign_no_escapes(self, program, clean):
+        """Any activated fault is either detected or architecturally
+        masked — never silent data corruption."""
+        rng = derive(0, "integration-campaign")
+        config = default_config()
+        sites = [FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
+                 FaultSite.STORE_VALUE, FaultSite.STORE_ADDR,
+                 FaultSite.BRANCH]
+        activated = detected = 0
+        for _ in range(60):
+            site = rng.choice(sites)
+            fault = TransientFault(
+                site, seq=rng.randrange(5, len(clean) - 5),
+                bit=rng.randrange(0, 40))
+            injector, trace, result = detect(program, fault, config)
+            if not injector.activations:
+                continue
+            activated += 1
+            if result.report.detected:
+                detected += 1
+            else:
+                assert masked(clean, trace), (
+                    f"SILENT CORRUPTION: {fault} escaped")
+        # most sites only activate when the struck instruction matches
+        # (e.g. STORE_VALUE needs a store), so ~1/4 of trials activate
+        assert activated >= 10
+        assert detected >= activated * 0.5  # most visible faults detected
+
+
+class TestDetectionLatency:
+    def test_error_event_timing_consistent(self, program):
+        fault = TransientFault(FaultSite.STORE_VALUE,
+                               seq=body_seq(100, "ST"), bit=3)
+        _inj, _trace, result = detect(program, fault)
+        event = result.report.first_event
+        assert event.detect_tick >= event.segment_close_tick
+        assert event.detect_ns > 0
+
+    def test_smaller_segments_find_faults_sooner(self, program):
+        config = default_config()
+        fault = TransientFault(FaultSite.STORE_VALUE,
+                               seq=body_seq(100, "ST"), bit=3)
+        _i1, _t1, big = detect(program, fault, config)
+        _i2, _t2, small = detect(program, fault,
+                                 config.with_log(int(3.6 * 1024), 500))
+        assert small.report.first_event.detect_tick <= \
+            big.report.first_event.detect_tick
+
+
+class TestLfuAblation:
+    def test_load_value_fault_escapes_without_lfu(self, program, clean):
+        """The paper's motivation for the LFU, §IV-C: without access-time
+        duplication, a post-access load corruption lands in the log too and
+        the checker cannot see it (unless it reaches a checkpoint
+        difference)."""
+        from dataclasses import replace
+        config = default_config()
+        no_lfu = replace(config, detection=replace(
+            config.detection, load_forwarding_unit=False))
+
+        # corrupt a loaded value whose register dies within the segment:
+        # x6 is overwritten by the ADDI, so only the store sees it — and
+        # without the LFU the logged store value matches the corrupted
+        # replay input... making it architecturally consistent
+        fault = TransientFault(FaultSite.LOAD_VALUE,
+                               seq=body_seq(150, "LD"), bit=3)
+
+        _inj, trace, with_lfu = detect(program, fault, config)
+        assert with_lfu.report.detected
+
+        injector = FaultInjector([fault])
+        trace2 = execute_program(program, fault_injector=injector)
+        without = run_with_detection(trace2, no_lfu)
+        assert not without.report.detected  # the escape the LFU prevents
+
+    def test_lfu_statistics_flow(self, clean, program):
+        config = default_config()
+        result = run_with_detection(execute_program(program), config)
+        # internal LFU is exercised once per load — smoke-check via report
+        assert result.report.entries_checked > 0
+
+
+class TestCrashingFaults:
+    def test_trap_truncates_but_still_detects(self, program, clean):
+        """A corrupted address register can crash the main program; the
+        already-committed corruption is still caught by the outstanding
+        checks (§IV-H)."""
+        injector = FaultInjector(
+            [HardFault(Opcode.ADD, mask=1, start_seq=800)])
+        trace = execute_program(program, fault_injector=injector)
+        assert trace.crashed
+        assert len(trace) < len(clean)
+        result = run_with_detection(trace, default_config())
+        assert result.report.detected

@@ -1,0 +1,65 @@
+"""Tests for interrupt handling (§IV-G) and the arrival generators."""
+
+import pytest
+
+from repro.detection.interrupts import periodic_interrupts, random_interrupts
+from repro.detection.system import run_with_detection
+
+
+class TestGenerators:
+    def test_periodic_spacing(self):
+        seqs = periodic_interrupts(1000, 250)
+        assert seqs == [250, 500, 750]
+
+    def test_periodic_offset(self):
+        assert periodic_interrupts(1000, 400, offset=100) == [500, 900]
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            periodic_interrupts(100, 0)
+
+    def test_random_deterministic(self):
+        assert random_interrupts(5000, 4, seed=1) == \
+            random_interrupts(5000, 4, seed=1)
+
+    def test_random_sorted_in_range(self):
+        seqs = random_interrupts(5000, 10, seed=2)
+        assert seqs == sorted(seqs)
+        assert all(1 <= s < 5000 for s in seqs)
+
+
+class TestInterruptedDetection:
+    def test_many_interrupts_still_sound(self, rmw_trace, config):
+        """Splitting segments at arbitrary interrupt boundaries must
+        never create false positives — each fragment validates on its own
+        (the strong-induction argument is boundary-agnostic)."""
+        seqs = periodic_interrupts(len(rmw_trace), 137)
+        report = run_with_detection(rmw_trace, config,
+                                    interrupt_seqs=seqs).report
+        assert not report.detected
+        assert report.closes_by_reason["interrupt"] == len(seqs)
+        assert report.entries_checked == \
+            rmw_trace.load_count + rmw_trace.store_count
+
+    def test_interrupts_shorten_detection_delay(self, rmw_trace, config):
+        """Early checkpoints mean earlier checking: frequent interrupts
+        should not *increase* the mean delay."""
+        quiet = run_with_detection(rmw_trace, config).report
+        busy = run_with_detection(
+            rmw_trace, config,
+            interrupt_seqs=periodic_interrupts(len(rmw_trace), 200)).report
+        assert busy.mean_delay_ns() <= quiet.mean_delay_ns() * 1.1
+
+    def test_interrupt_checkpoints_cost_commit_pauses(self, rmw_trace,
+                                                      config):
+        seqs = periodic_interrupts(len(rmw_trace), 100)
+        with_irq = run_with_detection(rmw_trace, config,
+                                      interrupt_seqs=seqs).report
+        without = run_with_detection(rmw_trace, config).report
+        assert with_irq.checkpoints_taken > without.checkpoints_taken
+
+    def test_random_arrivals_sound(self, rmw_trace, config):
+        seqs = random_interrupts(len(rmw_trace), 7, seed=3)
+        report = run_with_detection(rmw_trace, config,
+                                    interrupt_seqs=seqs).report
+        assert not report.detected

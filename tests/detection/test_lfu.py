@@ -1,0 +1,57 @@
+"""Tests for the load forwarding unit."""
+
+import pytest
+
+from repro.detection.lfu import LoadForwardingUnit
+
+
+class TestCaptureForward:
+    def test_roundtrip(self):
+        lfu = LoadForwardingUnit(8)
+        lfu.capture(3, 0x1000, 42)
+        assert lfu.forward_at_commit(3) == (0x1000, 42)
+
+    def test_forward_clears_slot(self):
+        lfu = LoadForwardingUnit(8)
+        lfu.capture(3, 0x1000, 42)
+        lfu.forward_at_commit(3)
+        with pytest.raises(LookupError):
+            lfu.forward_at_commit(3)
+
+    def test_missing_capture_rejected(self):
+        lfu = LoadForwardingUnit(8)
+        with pytest.raises(LookupError):
+            lfu.forward_at_commit(5)
+
+    def test_occupancy(self):
+        lfu = LoadForwardingUnit(8)
+        lfu.capture(0, 0x0, 0)
+        lfu.capture(1, 0x8, 1)
+        assert lfu.occupancy() == 2
+        lfu.forward_at_commit(0)
+        assert lfu.occupancy() == 1
+
+
+class TestSpeculationSemantics:
+    def test_misspeculated_load_overwritten_on_reallocation(self):
+        """A mis-speculated load is never flushed: when its ROB slot is
+        reallocated (same id modulo size), the new capture overwrites it
+        (paper §IV-C)."""
+        lfu = LoadForwardingUnit(4)
+        lfu.capture(2, 0xBAD, 666)          # speculative, never commits
+        lfu.capture(6, 0x1000, 42)          # same slot (6 % 4 == 2)
+        assert lfu.overwrites == 1
+        assert lfu.forward_at_commit(6) == (0x1000, 42)
+
+    def test_stale_entry_not_forwarded_for_wrong_id(self):
+        lfu = LoadForwardingUnit(4)
+        lfu.capture(2, 0xBAD, 666)
+        with pytest.raises(LookupError):
+            lfu.forward_at_commit(6)  # slot holds id 2, not 6
+
+    def test_stats(self):
+        lfu = LoadForwardingUnit(4)
+        lfu.capture(0, 0x0, 0)
+        lfu.forward_at_commit(0)
+        assert lfu.captures == 1
+        assert lfu.forwards == 1

@@ -1,0 +1,114 @@
+"""Tests for the partitioned load-store log structures."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.detection.checkpoint import ArchStateTracker
+from repro.detection.lslog import CloseReason, LogEntry, SegmentBuilder
+from repro.isa.executor import LOAD, NONDET, STORE
+
+
+def make_builder(capacity=4, timeout=100, slots=3):
+    return SegmentBuilder(
+        capacity=capacity, timeout=timeout, num_slots=slots,
+        first_checkpoint=ArchStateTracker().snapshot(0))
+
+
+def entries(n, kind=LOAD):
+    return [LogEntry(kind, 0x1000 + 8 * i, i, commit_tick=i) for i in range(n)]
+
+
+class TestFilling:
+    def test_append_and_fill(self):
+        b = make_builder(capacity=4)
+        b.append(entries(3))
+        assert not b.is_full()
+        b.append(entries(1))
+        assert b.is_full()
+
+    def test_will_overflow(self):
+        b = make_builder(capacity=4)
+        b.append(entries(3))
+        assert not b.will_overflow(1)
+        assert b.will_overflow(2)  # macro-op with 2 entries cannot split
+
+    def test_zero_entries_never_overflow(self):
+        b = make_builder(capacity=4)
+        b.append(entries(4))
+        assert not b.will_overflow(0)
+
+    def test_oversized_instruction_rejected(self):
+        b = make_builder(capacity=4)
+        with pytest.raises(ConfigError):
+            b.will_overflow(5)
+
+    def test_overflow_append_rejected(self):
+        b = make_builder(capacity=4)
+        b.append(entries(3))
+        with pytest.raises(ConfigError):
+            b.append(entries(2))
+
+    def test_capacity_minimum(self):
+        with pytest.raises(ConfigError):
+            make_builder(capacity=1)
+
+    def test_timeout_reached(self):
+        b = make_builder(timeout=3)
+        for _ in range(3):
+            assert not b.timeout_reached() or True
+            b.count_instruction()
+        assert b.timeout_reached()
+
+    def test_no_timeout_when_none(self):
+        b = make_builder(timeout=None)
+        for _ in range(10_000):
+            b.count_instruction()
+        assert not b.timeout_reached()
+
+
+class TestClosing:
+    def test_close_links_checkpoints(self):
+        b = make_builder()
+        tracker = ArchStateTracker()
+        tracker.xregs[1] = 42
+        end = tracker.snapshot(7)
+        closed = b.close(CloseReason.FULL, end, end_seq=10, close_tick=500)
+        assert closed.end_checkpoint is end
+        assert closed.close_reason is CloseReason.FULL
+        assert closed.close_tick == 500
+        # induction chain: next segment starts from the closed end
+        assert b.current.start_checkpoint is end
+        assert b.current.start_seq == 10
+
+    def test_slots_round_robin(self):
+        b = make_builder(slots=3)
+        end = ArchStateTracker().snapshot(0)
+        slots = [b.current.slot]
+        for i in range(5):
+            b.close(CloseReason.TIMEOUT, end, end_seq=i, close_tick=i)
+            slots.append(b.current.slot)
+        assert slots == [0, 1, 2, 0, 1, 2]
+
+    def test_close_counters(self):
+        b = make_builder()
+        end = ArchStateTracker().snapshot(0)
+        b.close(CloseReason.FULL, end, 1, 1)
+        b.close(CloseReason.TIMEOUT, end, 2, 2)
+        b.close(CloseReason.TIMEOUT, end, 3, 3)
+        assert b.segments_closed == 3
+        assert b.closes_by_reason[CloseReason.TIMEOUT] == 2
+        assert b.closes_by_reason[CloseReason.FULL] == 1
+
+    def test_segment_indices_increase(self):
+        b = make_builder()
+        end = ArchStateTracker().snapshot(0)
+        first = b.close(CloseReason.FULL, end, 1, 1)
+        second = b.close(CloseReason.FULL, end, 2, 2)
+        assert (first.index, second.index) == (0, 1)
+
+
+class TestLogEntry:
+    def test_describe(self):
+        assert "load" in LogEntry(LOAD, 0x10, 1, 0).describe()
+        assert "store" in LogEntry(STORE, 0x10, 1, 0).describe()
+        assert "nondet" in LogEntry(NONDET, 0, 1, 0).describe()

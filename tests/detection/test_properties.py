@@ -1,0 +1,178 @@
+"""Property-based tests on the detection scheme's core invariants.
+
+Two load-bearing properties of the paper:
+
+1. **Soundness (no false positives):** for *any* program and *any* segment
+   partitioning, fault-free execution validates — strong induction is
+   airtight when nothing went wrong.
+2. **Coverage (no silent corruption):** for any single transient fault
+   that leaves an architecturally visible difference, some check fires.
+
+Programs are generated randomly over the ISA (loops with arithmetic,
+memory and branches), so these run against code no human picked.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import default_config
+from repro.common.rng import derive
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.detection.system import run_with_detection
+from repro.isa.executor import execute_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+
+INT_OPS = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+           Opcode.SLL, Opcode.SRL, Opcode.MUL, Opcode.SLT]
+FP_OPS = [Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMIN, Opcode.FMAX]
+
+
+def random_program(seed: int, body_len: int, iterations: int,
+                   with_pairs: bool = False, with_fp: bool = False):
+    """A random but well-formed loop: arithmetic over x10..x17, a strided
+    load/store pair, optionally LDP/STP macro-ops (exercising the §IV-D
+    segment straddle rule) and FP arithmetic, and a counted back-edge."""
+    rng = derive(seed, "prop-program")
+    b = ProgramBuilder(f"rand{seed}")
+    array_words = 32
+    data = b.alloc_words(array_words, [rng.getrandbits(32)
+                                       for _ in range(array_words)])
+    b.emit(Opcode.MOVI, rd=1, imm=data)
+    for reg in range(10, 18):
+        b.emit(Opcode.MOVI, rd=reg, imm=rng.getrandbits(16))
+    if with_fp:
+        for reg in range(1, 6):
+            b.emit(Opcode.FMOVI, rd=reg, imm=rng.uniform(0.5, 4.0))
+    b.emit(Opcode.MOVI, rd=2, imm=0)
+    b.emit(Opcode.MOVI, rd=3, imm=iterations)
+    b.label("loop")
+    for _ in range(body_len):
+        if with_fp and rng.random() < 0.3:
+            op = rng.choice(FP_OPS)
+            b.emit(op, rd=rng.randrange(1, 6), rs1=rng.randrange(1, 6),
+                   rs2=rng.randrange(1, 6))
+        else:
+            op = rng.choice(INT_OPS)
+            b.emit(op, rd=rng.randrange(10, 18), rs1=rng.randrange(10, 18),
+                   rs2=rng.randrange(10, 18))
+    b.emit(Opcode.ANDI, rd=4, rs1=2, imm=array_words - 2)
+    b.emit(Opcode.SLLI, rd=4, rs1=4, imm=3)
+    b.emit(Opcode.ADD, rd=5, rs1=1, rs2=4)
+    if with_pairs:
+        # macro-ops: two µops, two log entries each — these must never
+        # straddle a segment boundary
+        b.emit(Opcode.LDP, rd=6, rd2=7, rs1=5, imm=0)
+        b.emit(Opcode.XOR, rd=6, rs1=6, rs2=10)
+        b.emit(Opcode.STP, rs2=6, rs3=7, rs1=5, imm=0)
+    else:
+        b.emit(Opcode.LD, rd=6, rs1=5, imm=0)
+        b.emit(Opcode.XOR, rd=6, rs1=6, rs2=10)
+        b.emit(Opcode.ST, rs2=6, rs1=5, imm=0)
+    b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)
+    b.emit(Opcode.BLT, rs1=2, rs2=3, target="loop")
+    b.emit(Opcode.HALT)
+    return b.build()
+
+
+class TestSoundness:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           body_len=st.integers(min_value=1, max_value=10),
+           log_kib=st.sampled_from([2, 4, 36]),
+           timeout=st.sampled_from([50, 500, 5000, None]))
+    @settings(max_examples=20, deadline=None)
+    def test_fault_free_never_flags(self, seed, body_len, log_kib, timeout):
+        program = random_program(seed, body_len, iterations=60)
+        trace = execute_program(program)
+        config = default_config().with_log(log_kib * 1024, timeout)
+        result = run_with_detection(trace, config)
+        assert not result.report.detected, result.report.events[0]
+        assert result.report.entries_checked == \
+            trace.load_count + trace.store_count
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           cores=st.sampled_from([2, 3, 12]))
+    @settings(max_examples=10, deadline=None)
+    def test_core_count_does_not_affect_soundness(self, seed, cores):
+        program = random_program(seed, 4, iterations=60)
+        trace = execute_program(program)
+        config = default_config().with_checker_cores(cores)
+        result = run_with_detection(trace, config)
+        assert not result.report.detected
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           log_kib=st.sampled_from([2, 3, 4]),
+           timeout=st.sampled_from([64, 1000, None]))
+    @settings(max_examples=15, deadline=None)
+    def test_macro_ops_never_straddle_segments(self, seed, log_kib, timeout):
+        """§IV-D: LDP/STP entries must land in one segment; with tiny
+        odd-capacity segments this is exactly where a straddle bug would
+        produce a false positive."""
+        program = random_program(seed, 3, iterations=80, with_pairs=True)
+        trace = execute_program(program)
+        config = default_config().with_log(log_kib * 1024, timeout)
+        result = run_with_detection(trace, config)
+        assert not result.report.detected, result.report.events[0]
+        assert result.report.entries_checked == \
+            trace.load_count + trace.store_count
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_fp_programs_validate_bit_exactly(self, seed):
+        """FP checkpoints compare by bit pattern: any drift between main
+        execution and replay would flag here."""
+        program = random_program(seed, 6, iterations=60, with_fp=True)
+        trace = execute_program(program)
+        result = run_with_detection(trace, default_config())
+        assert not result.report.detected
+
+
+class TestCoverage:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           fault_frac=st.floats(min_value=0.1, max_value=0.9),
+           bit=st.integers(min_value=0, max_value=40),
+           site=st.sampled_from([FaultSite.RESULT, FaultSite.LOAD_VALUE,
+                                 FaultSite.STORE_VALUE,
+                                 FaultSite.STORE_ADDR, FaultSite.BRANCH]))
+    @settings(max_examples=30, deadline=None)
+    def test_visible_faults_never_escape(self, seed, fault_frac, bit, site):
+        program = random_program(seed, 4, iterations=60)
+        clean = execute_program(program)
+        seq = int(fault_frac * (len(clean) - 2)) + 1
+        injector = FaultInjector([TransientFault(site, seq=seq, bit=bit)])
+        faulty = execute_program(program, fault_injector=injector)
+        if not injector.activations:
+            return
+        result = run_with_detection(faulty, default_config())
+        if result.report.detected:
+            return
+        # not detected: must be architecturally invisible
+        assert len(clean) == len(faulty)
+        assert clean.final_xregs == faulty.final_xregs
+        clean_mem = {a: v for a, v in clean.memory.items() if v}
+        faulty_mem = {a: v for a, v in faulty.memory.items() if v}
+        assert clean_mem == faulty_mem, "silent data corruption escaped"
+
+
+class TestTimingInvariants:
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           freq=st.sampled_from([250.0, 1000.0, 2000.0]))
+    @settings(max_examples=10, deadline=None)
+    def test_protected_never_faster(self, seed, freq):
+        program = random_program(seed, 3, iterations=50)
+        trace = execute_program(program)
+        from repro.detection.system import run_unprotected
+        config = default_config().with_checker_freq(freq)
+        base = run_unprotected(trace, config)
+        det = run_with_detection(trace, config)
+        assert det.main_cycles >= base.cycles
+        assert det.system_cycles >= det.main_cycles
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_delays_nonnegative_and_finite(self, seed):
+        program = random_program(seed, 3, iterations=50)
+        trace = execute_program(program)
+        result = run_with_detection(trace, default_config())
+        values = result.report.delays_ns.values
+        assert all(v > 0 for v in values)
+        assert result.report.max_delay_ns() < 1e9

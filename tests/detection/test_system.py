@@ -1,0 +1,173 @@
+"""System-level tests for the detection co-simulation."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.detection.system import (
+    ParallelErrorDetection,
+    run_unprotected,
+    run_with_detection,
+)
+from repro.isa.executor import execute_program
+
+from tests.conftest import build_alu_loop, build_rmw_loop
+
+
+class TestFaultFree:
+    def test_no_false_positives(self, rmw_trace, config):
+        result = run_with_detection(rmw_trace, config)
+        assert not result.report.detected
+        assert result.report.events == []
+
+    def test_every_entry_checked(self, rmw_trace, config):
+        result = run_with_detection(rmw_trace, config)
+        report = result.report
+        expected = rmw_trace.load_count + rmw_trace.store_count
+        assert report.entries_checked == expected
+        assert len(report.delays_ns) == expected
+
+    def test_slowdown_at_least_one(self, rmw_trace, config):
+        base = run_unprotected(rmw_trace, config)
+        det = run_with_detection(rmw_trace, config)
+        assert det.main_cycles >= base.cycles
+
+    def test_delays_positive(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        assert report.delays_ns.min() > 0
+        assert report.mean_delay_ns() <= report.max_delay_ns()
+
+    def test_system_outlives_main_core(self, rmw_trace, config):
+        """§IV-H: termination is held until all checks complete."""
+        result = run_with_detection(rmw_trace, config)
+        assert result.system_cycles >= result.main_cycles
+        assert result.report.all_checks_done_tick > 0
+
+    def test_checkpoint_stalls_accounted(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        ckpt_cycles = config.main_core.checkpoint_latency_cycles
+        assert report.checkpoint_stall_cycles == \
+            report.checkpoints_taken * ckpt_cycles
+        assert report.checkpoints_taken == report.segments_checked
+
+    def test_deterministic(self, rmw_trace, config):
+        a = run_with_detection(rmw_trace, config)
+        b = run_with_detection(rmw_trace, config)
+        assert a.main_cycles == b.main_cycles
+        assert a.report.mean_delay_ns() == b.report.mean_delay_ns()
+
+
+class TestSegmentation:
+    def test_memory_rich_code_closes_on_fill(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        assert report.closes_by_reason["full"] > 0
+        assert report.closes_by_reason["timeout"] == 0
+
+    def test_compute_code_closes_on_timeout(self, config):
+        trace = execute_program(build_alu_loop(iterations=8000))
+        report = run_with_detection(trace, config).report
+        assert report.closes_by_reason["timeout"] > 0
+
+    def test_termination_close(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        assert report.closes_by_reason["termination"] == 1
+
+    def test_segment_count_matches_entries(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        capacity = config.detection.segment_entries(config.checker.num_cores)
+        entries = rmw_trace.load_count + rmw_trace.store_count
+        # full closes occur exactly every `capacity` entries
+        assert report.closes_by_reason["full"] == entries // capacity
+
+    def test_smaller_log_more_segments(self, rmw_trace, config):
+        small = run_with_detection(
+            rmw_trace, config.with_log(int(3.6 * 1024), 500)).report
+        default = run_with_detection(rmw_trace, config).report
+        assert small.segments_checked > default.segments_checked
+
+
+class TestInterrupts:
+    def test_interrupt_splits_segment(self, rmw_trace, config):
+        report = run_with_detection(
+            rmw_trace, config, interrupt_seqs=[100, 500]).report
+        assert report.closes_by_reason["interrupt"] == 2
+
+    def test_interrupts_do_not_break_checking(self, rmw_trace, config):
+        report = run_with_detection(
+            rmw_trace, config, interrupt_seqs=[50, 300, 900]).report
+        assert not report.detected  # still no false positives
+        expected = rmw_trace.load_count + rmw_trace.store_count
+        assert report.entries_checked == expected
+
+    def test_interrupt_beyond_trace_ignored(self, rmw_trace, config):
+        report = run_with_detection(
+            rmw_trace, config, interrupt_seqs=[10**9]).report
+        assert report.closes_by_reason["interrupt"] == 0
+
+
+class TestIdealCheckers:
+    def test_ideal_skips_checking(self, rmw_trace, config):
+        report = run_with_detection(
+            rmw_trace, config.with_ideal_checkers()).report
+        assert len(report.delays_ns) == 0
+        assert report.segments_checked > 0
+
+    def test_ideal_still_pays_checkpoints(self, rmw_trace, config):
+        report = run_with_detection(
+            rmw_trace, config.with_ideal_checkers()).report
+        assert report.checkpoint_stall_cycles > 0
+
+    def test_ideal_never_slower_than_real(self, rmw_trace, config):
+        ideal = run_with_detection(rmw_trace, config.with_ideal_checkers())
+        real = run_with_detection(rmw_trace, config)
+        assert ideal.main_cycles <= real.main_cycles
+
+
+class TestBackPressure:
+    def test_slow_checkers_stall_main(self, config):
+        """A compute-heavy trace with 125 MHz checkers must force
+        log-full stalls (Figure 9's mechanism)."""
+        trace = execute_program(build_rmw_loop(iterations=3000))
+        base = run_unprotected(trace, config)
+        slow = run_with_detection(trace, config.with_checker_freq(125.0))
+        assert slow.report.log_full_stall_cycles > 0
+        assert slow.main_cycles > base.cycles
+
+    def test_fast_checkers_do_not(self, rmw_trace, config):
+        fast = run_with_detection(rmw_trace, config.with_checker_freq(2000.0))
+        assert fast.report.log_full_stall_cycles == 0
+
+    def test_fewer_cores_more_pressure(self, config):
+        trace = execute_program(build_rmw_loop(iterations=2500))
+        few = run_with_detection(trace, config.with_checker_cores(3))
+        many = run_with_detection(trace, config.with_checker_cores(12))
+        assert few.main_cycles >= many.main_cycles
+
+
+class TestCheckpointFaults:
+    def test_checkpoint_corruption_detected(self, rmw_trace, config):
+        from repro.detection.faults import FaultSite, TransientFault
+        fault = TransientFault(FaultSite.CHECKPOINT, seq=2, bit=1, reg="x2")
+        result = run_with_detection(rmw_trace, config,
+                                    checkpoint_faults=[fault])
+        assert result.report.detected
+
+    def test_checker_fault_over_detects(self, rmw_trace, config):
+        from repro.detection.faults import FaultSite, TransientFault
+        fault = TransientFault(FaultSite.CHECKER, seq=51, bit=1)
+        result = run_with_detection(rmw_trace, config,
+                                    checker_faults=[fault])
+        assert result.report.detected  # false positive, reported anyway
+
+
+class TestUtilisation:
+    def test_busy_ticks_tracked(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        assert len(report.checker_busy_ticks) == config.checker.num_cores
+        assert sum(report.checker_busy_ticks) > 0
+
+    def test_round_robin_spreads_work(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        busy = report.checker_busy_ticks
+        active = [t for t in busy if t > 0]
+        assert len(active) >= min(report.segments_checked,
+                                  config.checker.num_cores)

@@ -1,0 +1,42 @@
+"""Tests for the §VI-D bigger-cores experiment."""
+
+import pytest
+
+from repro.harness.bigger_cores import (
+    CORE_TIERS,
+    main_core_area_mm2,
+    size_tier,
+    tier_config,
+)
+from repro.workloads.suite import benchmark_trace
+
+
+class TestTierConfigs:
+    def test_tiers_validate(self):
+        for tier in CORE_TIERS:
+            cfg = tier_config(tier, 12)
+            assert cfg.main_core.fetch_width == tier[1]
+
+    def test_log_scales_with_checkers(self):
+        small = tier_config(CORE_TIERS[0], 6)
+        big = tier_config(CORE_TIERS[0], 24)
+        # per-checker segment size constant
+        assert small.detection.segment_entries(6) == \
+            big.detection.segment_entries(24)
+
+    def test_area_quadratic_in_width(self):
+        assert main_core_area_mm2(6) == pytest.approx(
+            4 * main_core_area_mm2(3))
+
+
+class TestSizing:
+    def test_sizing_meets_budget(self):
+        trace = benchmark_trace("stream", "small")
+        result = size_tier(trace, CORE_TIERS[0], max_slowdown=1.20)
+        assert result.checkers_needed in (6, 12, 18, 24)
+        assert result.slowdown <= 1.20
+
+    def test_relative_overhead_shrinks_with_core_size(self):
+        trace = benchmark_trace("stream", "small")
+        results = [size_tier(trace, tier) for tier in CORE_TIERS]
+        assert results[-1].area_overhead <= results[0].area_overhead

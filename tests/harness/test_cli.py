@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURE_COMMANDS, main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_figures_names(self):
+        args = make_parser().parse_args(["figures", "table1", "area"])
+        assert args.names == ["table1", "area"]
+
+    def test_bench_scale_choices(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["bench", "stream", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "randacc" in out and "facesim" in out
+
+    def test_figures_cheap_subset(self, capsys):
+        assert main(["figures", "table1", "table2", "area", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "area overhead" in out.lower() or "VI-B" in out
+
+    def test_figures_unknown_name(self, capsys):
+        assert main(["figures", "nonsense"]) == 2
+
+    def test_bench(self, capsys):
+        assert main(["bench", "stream", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--trials", "6", "--benchmark",
+                     "bodytrack"]) == 0
+        out = capsys.readouterr().out
+        assert "activated" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "randacc" in out and "slowdown" in out
+
+    def test_figure_registry_complete(self):
+        for name in ("table1", "table2", "fig1", "fig7", "fig8", "fig9",
+                     "fig10", "fig11", "fig12", "fig13", "area", "power"):
+            assert name in FIGURE_COMMANDS

@@ -1,0 +1,62 @@
+"""Tests for the experiment runner and caching."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.harness.experiment import ExperimentRunner, bench_scale
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="small")
+
+
+class TestCaching:
+    def test_baseline_cached(self, runner):
+        a = runner.baseline("stream")
+        b = runner.baseline("stream")
+        assert a is b
+
+    def test_detection_cached_per_config(self, runner):
+        cfg = runner.default_cfg
+        a = runner.detection("stream", cfg)
+        b = runner.detection("stream", cfg)
+        assert a is b
+
+    def test_equal_configs_share_cache(self, runner):
+        a = runner.detection("stream",
+                             runner.default_cfg.with_checker_freq(500.0))
+        b = runner.detection("stream",
+                             runner.default_cfg.with_checker_freq(500.0))
+        assert a is b
+
+    def test_different_configs_distinct(self, runner):
+        a = runner.detection("stream",
+                             runner.default_cfg.with_checker_freq(500.0))
+        b = runner.detection("stream",
+                             runner.default_cfg.with_checker_freq(250.0))
+        assert a is not b
+
+
+class TestSummaries:
+    def test_summary_fields(self, runner):
+        s = runner.summary("stream")
+        assert s.benchmark == "stream"
+        assert s.slowdown >= 1.0
+        assert s.base_cycles > 0
+        assert s.det_cycles >= s.base_cycles
+
+    def test_sweep_shape(self, runner):
+        configs = [runner.default_cfg,
+                   runner.default_cfg.with_checker_freq(500.0)]
+        sweep = runner.sweep(configs, benchmarks=["stream", "bitcount"])
+        assert set(sweep) == {"stream", "bitcount"}
+        assert all(len(rows) == 2 for rows in sweep.values())
+
+
+class TestScale:
+    def test_env_var_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert bench_scale() == "small"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert bench_scale() == "default"

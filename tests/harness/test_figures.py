@@ -1,0 +1,59 @@
+"""Tests for the figure entry points (small scale, structure + sanity)."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.figures import (
+    fig1_comparison,
+    fig7,
+    fig10,
+    sec6b_area,
+    sec6c_power,
+    table1,
+    table2,
+)
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="small")
+
+
+class TestTables:
+    def test_table1(self):
+        text, rows = table1()
+        assert "Table I" in text
+        assert len(rows) >= 10
+
+    def test_table2(self):
+        text, rows = table2()
+        assert "Table II" in text
+        assert len(rows) == 9
+
+
+class TestFigures:
+    def test_fig7_structure(self, runner):
+        text, data = fig7(runner)
+        assert set(data) == set(BENCHMARK_ORDER)
+        assert "geomean" in text
+        assert all(v >= 0.999 for v in data.values())
+
+    def test_fig10_structure(self, runner):
+        text, data = fig10(runner)
+        assert set(data) == set(BENCHMARK_ORDER)
+        assert all(len(v) == 4 for v in data.values())
+        # checkpoint-only cost shrinks with bigger logs
+        for series in data.values():
+            assert series[0] >= series[-1] - 1e-9
+
+    def test_fig1_structure(self, runner):
+        text, data = fig1_comparison(runner, benchmarks=["stream"])
+        assert set(data) == {"lockstep", "rmt", "ours"}
+        assert data["lockstep"]["area"] == 1.0
+
+    def test_area_power_sections(self):
+        a_text, a_data = sec6b_area()
+        p_text, p_data = sec6c_power()
+        assert 0.2 < a_data["overhead_vs_core"] < 0.3
+        assert 0.1 < p_data["overhead"] < 0.22

@@ -1,0 +1,83 @@
+"""Tests for the static ISA definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    CODE_BASE,
+    CONTROL_OPS,
+    FP_OPS,
+    INSTRUCTION_BYTES,
+    LOAD_OPS,
+    MASK64,
+    MEM_OPS,
+    NONDET_OPS,
+    STORE_OPS,
+    FuClass,
+    Opcode,
+    fu_class,
+    pc_to_byte_address,
+    to_signed,
+    to_unsigned,
+    uop_count,
+)
+
+
+class TestOpcodeGroups:
+    def test_groups_disjoint(self):
+        assert not LOAD_OPS & STORE_OPS
+        assert not MEM_OPS & CONTROL_OPS
+        assert not FP_OPS & BRANCH_OPS
+
+    def test_mem_ops_union(self):
+        assert MEM_OPS == LOAD_OPS | STORE_OPS
+
+    def test_every_opcode_has_fu_class(self):
+        for op in Opcode:
+            assert isinstance(fu_class(op), FuClass)
+
+    def test_fu_classes(self):
+        assert fu_class(Opcode.ADD) is FuClass.INT_ALU
+        assert fu_class(Opcode.MUL) is FuClass.MULDIV
+        assert fu_class(Opcode.FADD) is FuClass.FP_ALU
+        assert fu_class(Opcode.LD) is FuClass.MEM
+        assert fu_class(Opcode.BEQ) is FuClass.BRANCH
+        assert fu_class(Opcode.NOP) is FuClass.NONE
+
+    def test_nondet_ops(self):
+        assert Opcode.RDRAND in NONDET_OPS
+        assert Opcode.RDCYCLE in NONDET_OPS
+
+
+class TestUopCounts:
+    def test_pairs_crack_into_two(self):
+        assert uop_count(Opcode.LDP) == 2
+        assert uop_count(Opcode.STP) == 2
+
+    def test_everything_else_is_one(self):
+        for op in Opcode:
+            if op not in (Opcode.LDP, Opcode.STP):
+                assert uop_count(op) == 1, op
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == MASK64
+        assert to_unsigned(1 << 64) == 0
+
+    @pytest.mark.parametrize("v", [0, 1, 2**63 - 1, 2**63, MASK64])
+    def test_roundtrip(self, v):
+        assert to_unsigned(to_signed(v)) == v
+
+
+class TestAddresses:
+    def test_pc_to_byte_address(self):
+        assert pc_to_byte_address(0) == CODE_BASE
+        assert pc_to_byte_address(10) == CODE_BASE + 10 * INSTRUCTION_BYTES

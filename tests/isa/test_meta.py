@@ -1,0 +1,84 @@
+"""Tests for static instruction metadata."""
+
+from repro.isa.instructions import FuClass, Instruction, Opcode
+from repro.isa.meta import instr_meta, program_meta
+from repro.isa.program import ProgramBuilder
+
+
+class TestInstrMeta:
+    def test_add_sources_and_dest(self):
+        meta = instr_meta(Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2))
+        assert meta.srcs == ((False, 1), (False, 2))
+        assert meta.dsts == ((False, 3),)
+        assert meta.fu is FuClass.INT_ALU
+        assert not meta.is_load and not meta.is_store
+
+    def test_x0_source_excluded(self):
+        meta = instr_meta(Instruction(Opcode.ADD, rd=3, rs1=0, rs2=2))
+        assert meta.srcs == ((False, 2),)
+
+    def test_x0_dest_excluded(self):
+        meta = instr_meta(Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2))
+        assert meta.dsts == ()
+
+    def test_load_meta(self):
+        meta = instr_meta(Instruction(Opcode.LD, rd=2, rs1=1, imm=8))
+        assert meta.is_load and not meta.is_store
+        assert meta.fu is FuClass.MEM
+        assert meta.srcs == ((False, 1),)
+
+    def test_ldp_two_dests_two_uops(self):
+        meta = instr_meta(Instruction(Opcode.LDP, rd=2, rd2=3, rs1=1))
+        assert meta.dsts == ((False, 2), (False, 3))
+        assert meta.uops == 2
+
+    def test_stp_three_sources(self):
+        meta = instr_meta(Instruction(Opcode.STP, rs2=2, rs3=3, rs1=1))
+        assert set(meta.srcs) == {(False, 1), (False, 2), (False, 3)}
+        assert meta.is_store
+
+    def test_fp_register_space(self):
+        meta = instr_meta(Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3))
+        assert meta.srcs == ((True, 2), (True, 3))
+        assert meta.dsts == ((True, 1),)
+
+    def test_fld_mixed_spaces(self):
+        meta = instr_meta(Instruction(Opcode.FLD, rd=1, rs1=2, imm=0))
+        assert meta.srcs == ((False, 2),)   # int base register
+        assert meta.dsts == ((True, 1),)    # fp destination
+
+    def test_fcvt_f2i_spaces(self):
+        meta = instr_meta(Instruction(Opcode.FCVT_F2I, rd=1, rs1=2))
+        assert meta.srcs == ((True, 2),)
+        assert meta.dsts == ((False, 1),)
+
+    def test_branch_flags(self):
+        meta = instr_meta(Instruction(Opcode.BEQ, rs1=1, rs2=2, target=0))
+        assert meta.is_branch and not meta.is_jump
+
+    def test_jump_flags(self):
+        assert instr_meta(Instruction(Opcode.J, target=0)).is_jump
+        assert instr_meta(Instruction(Opcode.JAL, rd=1, target=0)).is_jump
+        assert instr_meta(Instruction(Opcode.JALR, rd=1, rs1=2)).is_jump
+
+    def test_fmadd_three_fp_sources(self):
+        meta = instr_meta(Instruction(Opcode.FMADD, rd=0, rs1=1, rs2=2, rs3=3))
+        assert meta.srcs == ((True, 1), (True, 2), (True, 3))
+
+
+class TestProgramMeta:
+    def test_indexing_matches_instructions(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.MOVI, rd=1, imm=1)
+        b.emit(Opcode.ADD, rd=2, rs1=1, rs2=1)
+        b.emit(Opcode.HALT)
+        p = b.build()
+        pm = program_meta(p)
+        assert len(pm) == 3
+        assert pm[1].op is Opcode.ADD
+
+    def test_cached_by_identity(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.HALT)
+        p = b.build()
+        assert program_meta(p) is program_meta(p)

@@ -1,0 +1,134 @@
+"""Tests for Program and ProgramBuilder."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import Opcode
+from repro.isa.memory_image import float_to_bits
+from repro.isa.program import Program, ProgramBuilder, signature
+
+
+class TestBuilder:
+    def test_forward_reference(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.J, target="later")
+        b.emit(Opcode.NOP)
+        b.label("later")
+        b.emit(Opcode.HALT)
+        p = b.build()
+        assert p.instructions[0].target == 2
+
+    def test_undefined_forward_reference(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.J, target="nowhere")
+        b.emit(Opcode.HALT)
+        with pytest.raises(AssemblyError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder("t")
+        b.label("x")
+        with pytest.raises(AssemblyError, match="duplicate"):
+            b.label("x")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            ProgramBuilder("t").build()
+
+    def test_entry_label(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.NOP)
+        b.label("start")
+        b.emit(Opcode.HALT)
+        assert b.build(entry="start").entry == 1
+
+    def test_undefined_entry(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.HALT)
+        with pytest.raises(AssemblyError):
+            b.build(entry="missing")
+
+    def test_operand_checking_missing(self):
+        b = ProgramBuilder("t")
+        with pytest.raises(AssemblyError, match="requires operand"):
+            b.emit(Opcode.ADD, rd=1, rs1=2)  # missing rs2
+
+    def test_operand_checking_extra(self):
+        b = ProgramBuilder("t")
+        with pytest.raises(AssemblyError, match="does not take"):
+            b.emit(Opcode.NOP, rd=1)
+
+    def test_register_range(self):
+        b = ProgramBuilder("t")
+        with pytest.raises(AssemblyError, match="out of range"):
+            b.emit(Opcode.ADD, rd=40, rs1=1, rs2=2)
+
+    def test_branch_target_validated(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.BEQ, rs1=0, rs2=0, target=999)
+        with pytest.raises(AssemblyError, match="invalid target"):
+            b.build()
+
+    def test_emit_returns_index(self):
+        b = ProgramBuilder("t")
+        assert b.emit(Opcode.NOP) == 0
+        assert b.emit(Opcode.HALT) == 1
+
+
+class TestDataSegment:
+    def test_alloc_words_sequential(self):
+        b = ProgramBuilder("t")
+        first = b.alloc_words(4)
+        second = b.alloc_words(2)
+        assert second == first + 32
+
+    def test_alloc_with_values(self):
+        b = ProgramBuilder("t")
+        base = b.alloc_words(3, [10, 20, 30])
+        b.emit(Opcode.HALT)
+        p = b.build()
+        assert p.data[base] == 10
+        assert p.data[base + 16] == 30
+
+    def test_alloc_floats(self):
+        b = ProgramBuilder("t")
+        base = b.alloc_floats([1.5, -2.5])
+        b.emit(Opcode.HALT)
+        p = b.build()
+        assert p.data[base] == float_to_bits(1.5)
+        assert p.data[base + 8] == float_to_bits(-2.5)
+
+    def test_put_word_masks(self):
+        b = ProgramBuilder("t")
+        b.put_word(0x100, 1 << 64)
+        b.emit(Opcode.HALT)
+        assert b.build().data[0x100] == 0
+
+    def test_initial_memory(self):
+        b = ProgramBuilder("t")
+        b.put_word(0x100, 5)
+        b.emit(Opcode.HALT)
+        mem = b.build().initial_memory()
+        assert mem.load(0x100) == 5
+
+
+class TestProgram:
+    def test_identity_semantics(self):
+        b1, b2 = ProgramBuilder("a"), ProgramBuilder("a")
+        b1.emit(Opcode.HALT)
+        b2.emit(Opcode.HALT)
+        p1, p2 = b1.build(), b2.build()
+        assert p1 != p2          # identity equality
+        assert p1 == p1
+        assert hash(p1) != hash(p2) or p1 is not p2
+
+    def test_fetch_bounds(self):
+        b = ProgramBuilder("t")
+        b.emit(Opcode.HALT)
+        p = b.build()
+        with pytest.raises(AssemblyError):
+            p.fetch(5)
+
+    def test_signature_table_complete(self):
+        for op in Opcode:
+            assert isinstance(signature(op), str)

@@ -1,0 +1,115 @@
+"""Tests for the set-associative cache timing model."""
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import CacheModel
+
+
+def small_cache(assoc=2, sets=4, hit=2, mshrs=2):
+    return CacheModel(CacheConfig(
+        size_bytes=assoc * sets * 64, assoc=assoc, line_bytes=64,
+        hit_latency_cycles=hit, mshrs=mshrs))
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        hit, when = c.lookup(0x1000, 0)
+        assert not hit
+        c.fill(0x1000, when, when + 50)
+        hit, ready = c.lookup(0x1000, 100)
+        assert hit
+        assert ready == 102
+
+    def test_same_line_shares(self):
+        c = small_cache()
+        _, when = c.lookup(0x1000, 0)
+        c.fill(0x1000, when, 50)
+        hit, _ = c.lookup(0x1038, 100)  # same 64B line
+        assert hit
+
+    def test_different_line_misses(self):
+        c = small_cache()
+        _, when = c.lookup(0x1000, 0)
+        c.fill(0x1000, when, 50)
+        hit, _ = c.lookup(0x1040, 100)
+        assert not hit
+
+    def test_stats(self):
+        c = small_cache()
+        _, when = c.lookup(0x1000, 0)
+        c.fill(0x1000, when, 10)
+        c.lookup(0x1000, 20)
+        assert c.misses == 1 and c.hits == 1
+        assert c.miss_rate() == 0.5
+        c.reset_stats()
+        assert c.accesses == 0
+
+
+class TestInFlight:
+    def test_hit_on_inflight_line_waits_for_fill(self):
+        """Regression: a line installed but still being fetched must not
+        be an instant hit — the access completes when the fill does."""
+        c = small_cache()
+        _, when = c.lookup(0x1000, 0)
+        c.fill(0x1000, when, 500)
+        hit, ready = c.lookup(0x1000, 10)
+        assert hit
+        assert ready == 500
+
+    def test_hit_after_fill_complete_is_fast(self):
+        c = small_cache()
+        _, when = c.lookup(0x1000, 0)
+        c.fill(0x1000, when, 500)
+        _hit, ready = c.lookup(0x1000, 600)
+        assert ready == 602
+
+    def test_prefetch_install_with_ready(self):
+        c = small_cache()
+        c.install(0x2000, ready=300)
+        hit, ready = c.lookup(0x2000, 100)
+        assert hit
+        assert ready == 300
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        c = small_cache(assoc=2, sets=1)
+        for addr in (0x0, 0x40):
+            _, when = c.lookup(addr, 0)
+            c.fill(addr, when, 1)
+        # touch 0x0 so 0x40 becomes LRU
+        c.lookup(0x0, 10)
+        _, when = c.lookup(0x80, 20)
+        c.fill(0x80, when, 21)
+        assert c.probe(0x0)
+        assert not c.probe(0x40)
+        assert c.probe(0x80)
+
+    def test_probe_does_not_mutate(self):
+        c = small_cache(assoc=2, sets=1)
+        for addr in (0x0, 0x40):
+            _, when = c.lookup(addr, 0)
+            c.fill(addr, when, 1)
+        c.probe(0x0)  # probes must not refresh LRU
+        _, when = c.lookup(0x80, 10)
+        c.fill(0x80, when, 11)
+        assert not c.probe(0x0)  # 0x0 was still LRU
+
+
+class TestMSHRs:
+    def test_miss_concurrency_limited(self):
+        c = small_cache(mshrs=1)
+        _, start1 = c.lookup(0x1000, 0)
+        c.fill(0x1000, start1, 100)
+        # second miss while the first is outstanding: must wait for the slot
+        _, start2 = c.lookup(0x2000, 10)
+        assert start2 == 100
+        assert c.mshr_stalls == 1
+
+    def test_free_mshr_no_stall(self):
+        c = small_cache(mshrs=2)
+        _, s1 = c.lookup(0x1000, 0)
+        c.fill(0x1000, s1, 100)
+        _, s2 = c.lookup(0x2000, 10)
+        assert s2 == 10
+        assert c.mshr_stalls == 0

@@ -1,0 +1,55 @@
+"""Tests for the (72,64) SECDED code."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.ecc import EccResult, decode, encode, flip_bit
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestCleanPath:
+    @pytest.mark.parametrize("value", [0, 1, 0xDEADBEEF,
+                                       (1 << 64) - 1, 1 << 63])
+    def test_roundtrip(self, value):
+        data, result = decode(encode(value))
+        assert data == value
+        assert result is EccResult.CLEAN
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(1 << 64)
+        with pytest.raises(ValueError):
+            encode(-1)
+
+
+class TestSingleError:
+    def test_every_bit_position_corrects(self):
+        value = 0xA5A5_5A5A_DEAD_BEEF
+        word = encode(value)
+        for bit in range(72):
+            corrupted = flip_bit(word, bit)
+            data, result = decode(corrupted)
+            assert result is EccResult.CORRECTED, f"bit {bit}"
+            assert data == value, f"bit {bit}"
+
+    @given(u64, st.integers(min_value=0, max_value=71))
+    def test_single_error_property(self, value, bit):
+        data, result = decode(flip_bit(encode(value), bit))
+        assert result is EccResult.CORRECTED
+        assert data == value
+
+
+class TestDoubleError:
+    @given(u64, st.integers(min_value=0, max_value=70),
+           st.integers(min_value=0, max_value=70))
+    def test_double_error_detected(self, value, bit1, bit2):
+        if bit1 == bit2:
+            return
+        corrupted = flip_bit(flip_bit(encode(value), bit1), bit2)
+        _data, result = decode(corrupted)
+        assert result is EccResult.DOUBLE_ERROR
+
+    def test_flip_bit_range_checked(self):
+        with pytest.raises(ValueError):
+            flip_bit(encode(0), 72)

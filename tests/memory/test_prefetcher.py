@@ -1,0 +1,68 @@
+"""Tests for the stride prefetcher."""
+
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class TestStrideDetection:
+    def test_learns_constant_stride(self):
+        p = StridePrefetcher(degree=2)
+        pc = 0x40
+        issued = []
+        for i in range(6):
+            issued = p.observe(pc, 0x1000 + i * 64)
+        assert issued == [0x1000 + 6 * 64, 0x1000 + 7 * 64]
+
+    def test_needs_confidence(self):
+        p = StridePrefetcher()
+        pc = 0x40
+        assert p.observe(pc, 0x1000) == []        # allocate
+        assert p.observe(pc, 0x1040) == []        # stride learned, conf 0
+        assert p.observe(pc, 0x1080) == []        # conf 1
+        assert p.observe(pc, 0x10C0) != []        # conf 2: fire
+
+    def test_random_addresses_never_fire(self):
+        p = StridePrefetcher()
+        addrs = [0x1000, 0x9040, 0x2980, 0x77C0, 0x3000, 0xF4C0]
+        for addr in addrs:
+            assert p.observe(0x40, addr) == []
+
+    def test_stride_change_resets_confidence(self):
+        p = StridePrefetcher()
+        pc = 0x40
+        for i in range(4):
+            p.observe(pc, 0x1000 + i * 64)
+        assert p.observe(pc, 0x9000) == []           # break the pattern
+        assert p.observe(pc, 0x9040) == []           # new stride, conf 0
+        assert p.observe(pc, 0x9080) == []           # conf 1
+        assert p.observe(pc, 0x90C0) != []           # recovered
+
+    def test_zero_stride_never_fires(self):
+        p = StridePrefetcher()
+        for _ in range(8):
+            result = p.observe(0x40, 0x1000)
+        assert result == []
+
+    def test_per_pc_tracking(self):
+        p = StridePrefetcher()
+        for i in range(5):
+            p.observe(0x40, 0x1000 + i * 64)
+            p.observe(0x44, 0x8000 + i * 128)
+        a = p.observe(0x40, 0x1000 + 5 * 64)
+        b = p.observe(0x44, 0x8000 + 5 * 128)
+        assert a and b
+        assert a[0] - (0x1000 + 5 * 64) == 64
+        assert b[0] - (0x8000 + 5 * 128) == 128
+
+    def test_table_capacity_eviction(self):
+        p = StridePrefetcher(table_size=2)
+        p.observe(0x40, 0x1000)
+        p.observe(0x44, 0x2000)
+        p.observe(0x48, 0x3000)  # evicts 0x40
+        assert 0x40 not in p.entries
+        assert 0x48 in p.entries
+
+    def test_negative_stride(self):
+        p = StridePrefetcher(degree=1)
+        for i in range(6):
+            result = p.observe(0x40, 0x10000 - i * 64)
+        assert result == [0x10000 - 6 * 64]
