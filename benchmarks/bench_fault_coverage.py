@@ -1,7 +1,9 @@
 """Fault-injection coverage campaign (§IV-I's coverage argument, measured).
 
-Injects transient faults at every architecturally visible site across
-random dynamic instructions and classifies each as:
+The campaign grid injects transient faults at every architecturally
+visible site across random dynamic instructions; the campaign engine
+(:mod:`repro.harness.campaign`) executes the grid and classifies each
+trial as:
 
 * **masked** — final memory and registers match the fault-free run (the
   corrupted value died before reaching any store, address or checkpoint);
@@ -14,57 +16,21 @@ changes architecturally visible state must be caught by a store check, a
 load-address check, or a register-checkpoint validation.
 """
 
-from repro.common.config import default_config
-from repro.common.rng import derive
-from repro.common.time import ticks_to_us
-from repro.detection.faults import FaultInjector, FaultSite, TransientFault
-from repro.detection.system import run_with_detection
-from repro.isa.executor import Trace, execute_program
-from repro.workloads.suite import build_benchmark
-
-SITES = [FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
-         FaultSite.STORE_VALUE, FaultSite.STORE_ADDR, FaultSite.BRANCH]
-
-
-def architecturally_masked(clean: Trace, faulty: Trace) -> bool:
-    """True when the fault left no architecturally visible difference."""
-    if len(clean) != len(faulty):
-        return False
-    if clean.final_xregs != faulty.final_xregs:
-        return False
-    if clean.final_fregs != faulty.final_fregs:
-        return False
-    clean_mem = {a: v for a, v in clean.memory.items() if v}
-    faulty_mem = {a: v for a, v in faulty.memory.items() if v}
-    return clean_mem == faulty_mem
+from repro.harness.campaign import CAMPAIGN_SITES, CampaignEngine, fault_grid
 
 
 def run_campaign(trials_per_site: int = 4):
-    cfg = default_config()
-    program = build_benchmark("bodytrack", "small")
-    clean = execute_program(program)
-    rng = derive(0, "coverage-campaign")
-    activated = detected = masked = escaped = 0
-    latencies_us = []
-    for site in SITES:
-        for _ in range(trials_per_site):
-            seq = rng.randrange(10, len(clean) - 10)
-            bit = rng.randrange(0, 48)
-            injector = FaultInjector([TransientFault(site, seq=seq, bit=bit)])
-            trace = execute_program(program, fault_injector=injector)
-            if not injector.activations:
-                continue
-            activated += 1
-            result = run_with_detection(trace, cfg)
-            if result.report.detected:
-                detected += 1
-                event = result.report.first_event
-                latencies_us.append(ticks_to_us(
-                    event.detect_tick - event.segment_close_tick))
-            elif architecturally_masked(clean, trace):
-                masked += 1
-            else:
-                escaped += 1
+    grid = fault_grid(
+        ["bodytrack"], trials=trials_per_site * len(CAMPAIGN_SITES),
+        scale="small", seed=0)
+    result = CampaignEngine(workers=1).run(grid)
+    records = result.typed_records()
+    activated = sum(1 for r in records if r.activated)
+    detected = sum(1 for r in records if r.outcome == "detected")
+    masked = sum(1 for r in records if r.outcome == "masked")
+    escaped = sum(1 for r in records if r.outcome == "escaped")
+    latencies_us = [r.detect_latency_us for r in records
+                    if r.detect_latency_us is not None]
     return activated, detected, masked, escaped, latencies_us
 
 

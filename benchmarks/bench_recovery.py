@@ -1,35 +1,21 @@
 """Extension: rollback-recovery cost (the paper's future work, measured).
 
 The paper's detection scheme lets faulty stores escape to memory and
-names checkpoint rollback as the correction companion.  This bench
-measures what that costs in practice: how far execution rolls back and
-how much work is re-executed, as a function of where the fault struck.
+names checkpoint rollback as the correction companion.  This bench runs
+a recovery campaign grid through the campaign engine and measures what
+correction costs in practice: how far execution rolls back and how much
+work is re-executed, as a function of where the fault struck.
 """
 
-from repro.common.config import default_config
-from repro.common.rng import derive
-from repro.detection.faults import FaultInjector, FaultSite, TransientFault
-from repro.isa.executor import execute_program
-from repro.recovery.rollback import detect_and_recover
-from repro.workloads.suite import build_benchmark
+from repro.harness.campaign import CampaignEngine, recovery_grid
 
 
 def run_experiment(trials: int = 16):
-    config = default_config()
-    program = build_benchmark("freqmine", "small")
-    clean = execute_program(program)
-    rng = derive(0, "recovery-bench")
-    rows = []
-    for _ in range(trials):
-        seq = rng.randrange(len(clean) // 4, len(clean) - 10)
-        fault = TransientFault(FaultSite.STORE_VALUE, seq=seq, bit=5)
-        injector = FaultInjector([fault])
-        faulty = execute_program(program, fault_injector=injector)
-        if not injector.activations:
-            continue
-        outcome = detect_and_recover(program, faulty, config)
-        rows.append((seq, outcome))
-    return len(clean), rows
+    grid = recovery_grid(["freqmine"], trials=trials, scale="small", seed=0)
+    records = CampaignEngine(workers=1).run(grid).typed_records()
+    activated = [r for r in records if r.activated]
+    total = records[0].trace_len if records else 0
+    return total, activated
 
 
 def test_recovery_cost(benchmark, emit):
@@ -38,18 +24,18 @@ def test_recovery_cost(benchmark, emit):
              f"  trace length: {total} instructions", ""]
     lines.append(f"  {'fault seq':>10} {'rollback seq':>13} "
                  f"{'replayed':>9} {'ok':>4}")
-    for seq, outcome in rows:
-        lines.append(f"  {seq:>10} {outcome.rollback_seq:>13} "
-                     f"{outcome.replayed_instructions:>9} "
-                     f"{'yes' if outcome.state_correct else 'NO':>4}")
+    for record in rows:
+        lines.append(f"  {record.seq:>10} {record.rollback_seq:>13} "
+                     f"{record.replayed_instructions:>9} "
+                     f"{'yes' if record.state_correct else 'NO':>4}")
     emit("recovery_cost", "\n".join(lines))
 
     assert rows, "no fault activated"
-    for seq, outcome in rows:
-        assert outcome.detected
-        assert outcome.state_correct
+    for record in rows:
+        assert record.detected
+        assert record.state_correct
         # rollback lands before the fault but within one segment's reach
-        assert outcome.rollback_seq <= seq
+        assert record.rollback_seq <= record.seq
         # work wasted is bounded by the distance from the last verified
         # snapshot to the end of the run
-        assert outcome.replayed_instructions <= total
+        assert record.replayed_instructions <= total

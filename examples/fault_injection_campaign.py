@@ -1,116 +1,95 @@
 #!/usr/bin/env python3
-"""Automotive-style fault-injection campaign.
+"""Automotive-style fault-injection campaign, run through the campaign
+engine.
 
 Safety standards such as ISO 26262 (ASIL-C/D) require quantified evidence
-of diagnostic coverage.  This example runs a campaign over a PARSEC-style
-workload: transient single-bit faults at every architecturally visible
-site, plus a permanent (hard) functional-unit fault, and reports
+of diagnostic coverage.  This example builds a declarative campaign grid
+over a PARSEC-style workload — transient single-bit faults at every
+architecturally visible site — and hands it to the parallel
+:class:`~repro.harness.campaign.CampaignEngine`, plus one permanent
+(hard) functional-unit fault run directly.  It reports
 
 * coverage: detected / (activated − architecturally masked),
-* detection latency: commit-to-check, the figure an automotive integrator
-  compares against the fault-tolerant time interval (FTTI, typically
-  milliseconds — the paper argues its µs-scale delays fit comfortably).
+* detection latency: segment-close-to-check, the figure an automotive
+  integrator compares against the fault-tolerant time interval (FTTI,
+  typically milliseconds — the paper argues its µs-scale delays fit
+  comfortably).
 
-Run:  python examples/fault_injection_campaign.py [trials-per-site]
+Re-runs are incremental: results land in an on-disk cache, so growing
+the campaign only executes the new trials.
+
+Run:  python examples/fault_injection_campaign.py [trials-per-site] [workers]
 """
 
 import sys
 
-from repro import (
-    FaultInjector,
-    FaultSite,
-    HardFault,
-    TransientFault,
-    default_config,
-    execute_program,
-    run_with_detection,
-)
-from repro.common.rng import derive
-from repro.common.time import ticks_to_us
+from repro import FaultInjector, FaultSite, HardFault, default_config, \
+    execute_program, run_with_detection
+from repro.harness.campaign import CAMPAIGN_SITES, CampaignEngine, fault_grid
 from repro.isa import Opcode
 from repro.workloads.suite import build_benchmark
 
-SITES = [
-    FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
-    FaultSite.STORE_VALUE, FaultSite.STORE_ADDR, FaultSite.BRANCH,
-    FaultSite.PC,
-]
-
-
-def masked(clean, faulty) -> bool:
-    """Did the fault leave any architecturally visible difference?"""
-    if len(clean) != len(faulty):
-        return False
-    if clean.final_xregs != faulty.final_xregs:
-        return False
-    if clean.final_fregs != faulty.final_fregs:
-        return False
-    return ({a: v for a, v in clean.memory.items() if v}
-            == {a: v for a, v in faulty.memory.items() if v})
+#: every architecturally visible transient site, including the PC
+SITES = CAMPAIGN_SITES + (FaultSite.PC,)
 
 
 def main() -> None:
     trials = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    config = default_config()
-    program = build_benchmark("bodytrack", "small")
-    clean = execute_program(program)
-    rng = derive(0, "campaign-example")
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
-    print(f"workload: bodytrack ({len(clean)} instructions)")
-    print(f"campaign: {trials} trials x {len(SITES)} transient sites "
-          f"+ 1 hard fault\n")
+    program = build_benchmark("bodytrack", "small")
+    grid = fault_grid(["bodytrack"], trials=trials * len(SITES),
+                      sites=SITES, scale="small", seed=0)
+    print("workload: bodytrack")
+    print(f"campaign: {len(grid)} jobs "
+          f"({trials} trials x {len(SITES)} transient sites) "
+          f"+ 1 hard fault, {workers} worker(s)\n")
+
+    engine = CampaignEngine(workers=workers,
+                            cache_dir=".cache/example-campaign")
+    result = engine.run(grid)
+    records = result.typed_records()
 
     header = f"{'site':<14}{'activated':>10}{'detected':>10}" \
              f"{'masked':>8}{'escaped':>9}{'mean lat':>12}"
     print(header)
     print("-" * len(header))
 
-    total_activated = total_detected = total_masked = total_escaped = 0
+    totals = {"activated": 0, "detected": 0, "masked": 0, "escaped": 0}
     for site in SITES:
-        activated = detected = masked_count = escaped = 0
-        latencies = []
-        for _ in range(trials):
-            seq = rng.randrange(10, len(clean) - 10)
-            bit = rng.randrange(0, 48)
-            injector = FaultInjector([TransientFault(site, seq=seq, bit=bit)])
-            faulty = execute_program(program, fault_injector=injector)
-            if not injector.activations:
-                continue
-            activated += 1
-            run = run_with_detection(faulty, config)
-            if run.report.detected:
-                detected += 1
-                event = run.report.first_event
-                latencies.append(ticks_to_us(event.detect_tick))
-            elif masked(clean, faulty):
-                masked_count += 1
-            else:
-                escaped += 1
+        rows = [r for r in records if r.site == site.value]
+        activated = sum(1 for r in rows if r.activated)
+        detected = sum(1 for r in rows if r.outcome == "detected")
+        masked = sum(1 for r in rows if r.outcome == "masked")
+        escaped = sum(1 for r in rows if r.outcome == "escaped")
+        latencies = [r.detect_latency_us for r in rows
+                     if r.detect_latency_us is not None]
         mean_lat = (sum(latencies) / len(latencies)) if latencies else 0.0
         print(f"{site.value:<14}{activated:>10}{detected:>10}"
-              f"{masked_count:>8}{escaped:>9}{mean_lat:>10.2f}us")
-        total_activated += activated
-        total_detected += detected
-        total_masked += masked_count
-        total_escaped += escaped
+              f"{masked:>8}{escaped:>9}{mean_lat:>10.2f}us")
+        totals["activated"] += activated
+        totals["detected"] += detected
+        totals["masked"] += masked
+        totals["escaped"] += escaped
 
     # a permanent multiplier defect: every MUL result has bit 17 stuck
     injector = FaultInjector([HardFault(Opcode.MUL, mask=1 << 17)])
     faulty = execute_program(program, fault_injector=injector)
-    run = run_with_detection(faulty, config)
+    run = run_with_detection(faulty, default_config())
     hard_note = ("detected, "
                  f"{len(run.report.events)} failing segments"
                  if run.report.detected else
                  "not activated (workload executes no MUL)")
     print(f"{'hard MUL':<14}{'-':>10}{'-':>10}{'-':>8}{'-':>9}  {hard_note}")
 
-    visible = total_activated - total_masked
-    coverage = total_detected / visible if visible else 1.0
-    print(f"\ncoverage of architecturally visible faults: "
+    visible = totals["activated"] - totals["masked"]
+    coverage = totals["detected"] / visible if visible else 1.0
+    print(f"\n{result.executed} jobs executed, {result.cached} from cache")
+    print(f"coverage of architecturally visible faults: "
           f"{100 * coverage:.1f}%  "
-          f"({total_detected}/{visible}; {total_masked} masked, "
-          f"{total_escaped} escaped)")
-    if total_escaped:
+          f"({totals['detected']}/{visible}; {totals['masked']} masked, "
+          f"{totals['escaped']} escaped)")
+    if totals["escaped"]:
         print("WARNING: silent data corruption escaped detection!")
 
 

@@ -5,9 +5,13 @@ Commands:
 ``figures [NAME ...]``
     Regenerate paper tables/figures (default: all).  Names: table1,
     table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, area,
-    power.
-``campaign [--benchmark NAME] [--trials N]``
-    Run a fault-injection coverage campaign.
+    power.  ``--workers``/``--cache-dir`` parallelise and cache the
+    underlying runs through the campaign engine.
+``campaign [--benchmark NAMES] [--trials N] [--workers N]
+[--cache-dir DIR] [--shard K/N] [--json]``
+    Run a fault-injection (or ``--kind recovery``) campaign grid through
+    the parallel engine.  Identical grids are incremental: a warm cache
+    directory replays every job with zero re-executions.
 ``bench NAME [--scale small|default]``
     Run one Table II benchmark under detection and print its summary.
 ``list``
@@ -45,7 +49,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(FIGURE_COMMANDS)}", file=sys.stderr)
         return 2
-    runner = ExperimentRunner(scale=args.scale)
+    runner = ExperimentRunner(scale=args.scale, workers=args.workers,
+                              cache_dir=args.cache_dir)
     for name in names:
         text, _data = FIGURE_COMMANDS[name](runner)
         print(text)
@@ -53,35 +58,90 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.common.config import default_config
-    from repro.common.rng import derive
-    from repro.detection.faults import FaultInjector, FaultSite, TransientFault
-    from repro.detection.system import run_with_detection
-    from repro.isa.executor import execute_program
-    from repro.workloads.suite import build_benchmark
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``K/N`` → (K, N); K counts from 0."""
+    try:
+        index_str, count_str = text.split("/", 1)
+        index, count = int(index_str), int(count_str)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like K/N (e.g. 0/4), got {text!r}")
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= K < N, got {text!r}")
+    return index, count
 
-    sites = [FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
-             FaultSite.STORE_VALUE, FaultSite.STORE_ADDR, FaultSite.BRANCH]
-    config = default_config()
-    program = build_benchmark(args.benchmark, "small")
-    clean = execute_program(program)
-    rng = derive(args.seed, "cli-campaign")
-    activated = detected = 0
-    for _ in range(args.trials):
-        site = rng.choice(sites)
-        fault = TransientFault(site, seq=rng.randrange(5, len(clean) - 5),
-                               bit=rng.randrange(0, 48))
-        injector = FaultInjector([fault])
-        trace = execute_program(program, fault_injector=injector)
-        if not injector.activations:
-            continue
-        activated += 1
-        if run_with_detection(trace, config).report.detected:
-            detected += 1
-    print(f"campaign over {args.benchmark}: {args.trials} trials, "
-          f"{activated} activated, {detected} detected "
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.common.records import canonical_json
+    from repro.harness.campaign import (
+        CampaignEngine, fault_grid, recovery_grid)
+    from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+    names = (list(BENCHMARK_ORDER) if args.benchmark == "all"
+             else args.benchmark.split(","))
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    build = recovery_grid if args.kind == "recovery" else fault_grid
+    grid = build(names, trials=args.trials, scale=args.scale, seed=args.seed)
+    if args.shard is not None:
+        index, count = args.shard
+        grid = grid.shard(index, count)
+
+    engine = CampaignEngine(workers=args.workers, cache_dir=args.cache_dir)
+    result = engine.run(grid)
+
+    outcomes: dict[str, int] = {}
+    latencies = []
+    for record in result.records:
+        if "outcome" in record:
+            outcome = record["outcome"]
+        elif not record.get("activated"):
+            outcome = "not_activated"
+        else:
+            outcome = ("recovered" if record.get("state_correct")
+                       else "not_recovered")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        if record.get("detect_latency_us") is not None:
+            latencies.append(record["detect_latency_us"])
+    activated = sum(1 for r in result.records if r.get("activated"))
+    detected = sum(
+        1 for r in result.records
+        if r.get("outcome") == "detected" or r.get("detected"))
+    summary = {
+        "kind": args.kind,
+        "benchmarks": names,
+        "jobs": len(result),
+        "executed": result.executed,
+        "cached": result.cached,
+        "activated": activated,
+        "detected": detected,
+        "outcomes": outcomes,
+        "mean_detect_latency_us": (
+            sum(latencies) / len(latencies) if latencies else None),
+    }
+    if args.json:
+        print(canonical_json({"summary": summary,
+                              "records": list(result.records)}))
+        return 0
+
+    print(f"{args.kind} campaign over {', '.join(names)} ({args.scale}): "
+          f"{len(result)} jobs, {result.executed} executed, "
+          f"{result.cached} from cache")
+    print(f"  activated: {activated}  detected: {detected} "
           f"({100 * detected / max(1, activated):.1f}% of activated)")
+    for outcome, count in sorted(outcomes.items()):
+        print(f"  {outcome:<14} {count}")
+    if latencies:
+        print(f"  mean check latency after segment close: "
+              f"{summary['mean_detect_latency_us']:.2f} us")
+    escaped = outcomes.get("escaped", 0)
+    if escaped:
+        print(f"WARNING: {escaped} fault(s) escaped detection (SDC)!")
+        return 1
     return 0
 
 
@@ -110,7 +170,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_suite(args: argparse.Namespace) -> int:
     """One-line summary per benchmark: slowdown + delay statistics."""
     from repro.workloads.suite import BENCHMARK_ORDER
-    runner = ExperimentRunner(scale=args.scale)
+    runner = ExperimentRunner(scale=args.scale, workers=args.workers,
+                              cache_dir=args.cache_dir)
+    runner.sweep([runner.default_cfg])   # one batch so workers overlap
     print(f"{'benchmark':<14}{'slowdown':>10}{'mean delay':>12}"
           f"{'max delay':>12}{'segments':>10}")
     for name in BENCHMARK_ORDER:
@@ -135,12 +197,32 @@ def make_parser() -> argparse.ArgumentParser:
                        help=f"which ({', '.join(FIGURE_COMMANDS)})")
     p_fig.add_argument("--scale", default="small",
                        choices=["small", "default"])
+    p_fig.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the underlying runs")
+    p_fig.add_argument("--cache-dir", default=None,
+                       help="on-disk run cache (incremental regeneration)")
     p_fig.set_defaults(func=cmd_figures)
 
-    p_camp = sub.add_parser("campaign", help="fault-injection campaign")
-    p_camp.add_argument("--benchmark", default="bodytrack")
-    p_camp.add_argument("--trials", type=int, default=30)
+    p_camp = sub.add_parser(
+        "campaign", help="fault-injection / recovery campaign grid")
+    p_camp.add_argument("--benchmark", default="bodytrack",
+                        help="comma-separated benchmark names, or 'all'")
+    p_camp.add_argument("--kind", default="fault",
+                        choices=["fault", "recovery"])
+    p_camp.add_argument("--trials", type=int, default=30,
+                        help="jobs per benchmark (fault sites cycle)")
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--scale", default="small",
+                        choices=["small", "default"])
+    p_camp.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial, in-process)")
+    p_camp.add_argument("--cache-dir", default=None,
+                        help="content-addressed on-disk result cache")
+    p_camp.add_argument("--shard", type=_parse_shard, default=None,
+                        metavar="K/N",
+                        help="run only round-robin shard K of N")
+    p_camp.add_argument("--json", action="store_true",
+                        help="emit canonical JSON (summary + records)")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_bench = sub.add_parser("bench", help="run one benchmark")
@@ -155,6 +237,8 @@ def make_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="summary over all benchmarks")
     p_suite.add_argument("--scale", default="small",
                          choices=["small", "default"])
+    p_suite.add_argument("--workers", type=int, default=1)
+    p_suite.add_argument("--cache-dir", default=None)
     p_suite.set_defaults(func=cmd_suite)
     return parser
 

@@ -1,0 +1,174 @@
+"""Serialisable result records for campaigns and figure harnesses.
+
+Every record here is a frozen dataclass with a stable dict/JSON
+round-trip, so campaign results can be cached on disk, shipped between
+worker processes, and compared byte-for-byte across runs.  The canonical
+JSON encoding (sorted keys, no whitespace) is the determinism contract:
+a campaign run serially, in parallel, or replayed from a warm cache must
+produce identical bytes for identical jobs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, minimal separators.
+
+    Identical payloads serialise to identical bytes regardless of dict
+    construction order or worker count — the byte-identity contract of
+    the campaign cache.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One benchmark × configuration data point (the figure-table cell)."""
+
+    benchmark: str
+    slowdown: float
+    mean_delay_ns: float
+    max_delay_ns: float
+    base_cycles: int
+    det_cycles: int
+
+
+@dataclass(frozen=True)
+class BaselineRecord:
+    """Unprotected main-core timing — the denominator of every figure."""
+
+    benchmark: str
+    scale: str
+    config_key: str
+    cycles: int
+    instructions: int
+    system_cycles: int
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """A full fault-free detection run, rich enough to rebuild the
+    per-run :class:`~repro.detection.system.DetectionReport` views the
+    figure harness consumes (delay distribution, closure accounting,
+    stall breakdown)."""
+
+    benchmark: str
+    scale: str
+    config_key: str
+    main_cycles: int
+    system_cycles: int
+    instructions: int
+    delays_ns: tuple[float, ...]
+    segments_checked: int
+    entries_checked: int
+    closes_by_reason: tuple[tuple[str, int], ...]
+    checkpoints_taken: int
+    checkpoint_stall_cycles: int
+    log_full_stall_cycles: int
+    checker_busy_ticks: tuple[int, ...]
+    all_checks_done_tick: int
+    detected: bool
+
+    def mean_delay_ns(self) -> float:
+        return (sum(self.delays_ns) / len(self.delays_ns)
+                if self.delays_ns else 0.0)
+
+    def max_delay_ns(self) -> float:
+        return max(self.delays_ns) if self.delays_ns else 0.0
+
+
+#: Classification of one fault-injection trial (§IV-I's coverage buckets).
+FAULT_OUTCOMES = ("not_activated", "masked", "detected", "escaped")
+
+
+@dataclass(frozen=True)
+class CoverageRecord:
+    """One fault-injection trial, classified.
+
+    ``escaped`` is the outcome the paper's coverage argument forbids:
+    architecturally visible corruption that no check caught (SDC).
+    """
+
+    benchmark: str
+    scale: str
+    config_key: str
+    site: str
+    seq: int
+    bit: int
+    activated: bool
+    outcome: str
+    #: segment-close-to-check latency of the first event, in microseconds
+    detect_latency_us: float | None
+    first_error_segment: int | None
+    first_error_entry: int | None
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One detect→rollback→re-execute trial (the recovery extension)."""
+
+    benchmark: str
+    scale: str
+    config_key: str
+    site: str
+    seq: int
+    bit: int
+    activated: bool
+    detected: bool
+    rollback_seq: int | None
+    replayed_instructions: int
+    recovered: bool
+    state_correct: bool
+    trace_len: int
+
+
+_RECORD_TYPES = {
+    cls.__name__: cls
+    for cls in (BaselineRecord, RunRecord, CoverageRecord, RecoveryRecord,
+                RunSummary)
+}
+
+#: Record fields that round-trip through JSON as lists but are tuples in
+#: the frozen dataclasses.
+_TUPLE_FIELDS = {"delays_ns", "checker_busy_ticks"}
+
+
+def record_to_dict(record) -> dict:
+    """Record → plain dict tagged with its type, ready for JSON."""
+    payload = asdict(record)
+    for name in _TUPLE_FIELDS & payload.keys():
+        payload[name] = list(payload[name])
+    closes = payload.get("closes_by_reason")
+    if closes is not None:
+        payload["closes_by_reason"] = [list(pair) for pair in closes]
+    payload["record_type"] = type(record).__name__
+    return payload
+
+
+def record_from_dict(payload: dict):
+    """Inverse of :func:`record_to_dict`."""
+    data = dict(payload)
+    type_name = data.pop("record_type")
+    cls = _RECORD_TYPES[type_name]
+    names = {f.name for f in fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ValueError(f"{type_name} record has unknown fields {sorted(unknown)}")
+    for name in _TUPLE_FIELDS & data.keys():
+        data[name] = tuple(data[name])
+    if "closes_by_reason" in data:
+        data["closes_by_reason"] = tuple(
+            (str(reason), int(count))
+            for reason, count in data["closes_by_reason"])
+    return cls(**data)
+
+
+def record_to_json(record) -> str:
+    return canonical_json(record_to_dict(record))
+
+
+def record_from_json(text: str):
+    return record_from_dict(json.loads(text))

@@ -9,6 +9,7 @@ platforms and Python versions for the methods we use.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 #: Seed used by the benchmark suite when none is given, so published
@@ -27,6 +28,12 @@ def derive(rng_or_seed: random.Random | int | None, salt: str) -> random.Random:
     Sub-streams keep unrelated consumers (e.g. workload data vs. fault
     sites) from perturbing each other when one of them changes how many
     numbers it draws.
+
+    The sub-seed comes from a SHA-256 content hash, **not** Python's
+    builtin ``hash()``: string hashing is randomised per process
+    (PYTHONHASHSEED), and derived streams must be identical across
+    processes — campaign workers and the on-disk run cache key results
+    by fault positions drawn from these streams.
     """
     if isinstance(rng_or_seed, random.Random):
         base = rng_or_seed.getrandbits(64)
@@ -34,4 +41,5 @@ def derive(rng_or_seed: random.Random | int | None, salt: str) -> random.Random:
         base = DEFAULT_SEED
     else:
         base = rng_or_seed
-    return random.Random(hash((base, salt)) & 0xFFFFFFFFFFFFFFFF)
+    digest = hashlib.sha256(f"{base}:{salt}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,490 @@
+"""Parallel campaign engine with an on-disk run cache.
+
+A **campaign** is a declarative grid of jobs — (benchmark, scale,
+:class:`~repro.common.config.SystemConfig`, fault/interrupt scenario)
+tuples — executed through a :class:`CampaignEngine` that
+
+* **shards deterministically** across a ``multiprocessing`` worker pool:
+  job *i* of the pending set goes to shard ``i % workers``, and results
+  are reassembled in submission order, so worker count never changes
+  what a campaign produces, only how fast;
+* **caches results content-addressed on disk**: every job has a stable
+  key — the SHA-256 of its canonical JSON description (kind, benchmark,
+  scale, the full config tree, the fault/interrupt scenario, and a
+  schema version bumped whenever record semantics change) — and a warm
+  cache replays a figure regeneration or fault campaign with zero
+  re-executions;
+* **deduplicates** identical jobs within one submission (a sweep that
+  names the same config twice executes it once).
+
+Everything a job produces is a serialisable record from
+:mod:`repro.common.records`; the full simulation objects never cross a
+process or cache boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.common.config import SystemConfig, default_config
+from repro.common.records import (
+    BaselineRecord,
+    CoverageRecord,
+    RecoveryRecord,
+    RunRecord,
+    canonical_json,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.common.rng import derive
+from repro.common.time import ticks_to_us
+from repro.detection.faults import (
+    FaultInjector,
+    FaultSite,
+    TransientFault,
+    system_faults,
+)
+from repro.detection.system import run_unprotected, run_with_detection
+from repro.isa.executor import Trace, execute_program
+from repro.workloads.suite import benchmark_trace, build_benchmark
+
+#: Bump whenever job execution or record layout changes meaning: every
+#: cached result carries it, so stale caches read as misses, never as
+#: silently wrong data.
+CACHE_SCHEMA_VERSION = 1
+
+#: Job kinds the engine knows how to execute.
+JOB_KINDS = ("baseline", "detection", "fault", "recovery")
+
+#: The six architecturally visible main-core fault sites of the §IV-I
+#: coverage campaigns (PC faults are exercised separately).
+CAMPAIGN_SITES = (
+    FaultSite.RESULT, FaultSite.LOAD_VALUE, FaultSite.LOAD_ADDR,
+    FaultSite.STORE_VALUE, FaultSite.STORE_ADDR, FaultSite.BRANCH,
+)
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable content hash of a full system configuration."""
+    payload = canonical_json(asdict(config))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of campaign work, hashable and picklable.
+
+    Equal-valued specs are the same job: they share a cache entry and
+    execute at most once per campaign.
+    """
+
+    kind: str
+    benchmark: str
+    scale: str = "small"
+    config: SystemConfig = field(default_factory=default_config)
+    fault: TransientFault | None = None
+    interrupt_seqs: tuple[int, ...] = ()
+
+    def describe(self) -> dict:
+        """The canonical description hashed into the cache key."""
+        fault = None
+        if self.fault is not None:
+            fault = asdict(self.fault)
+            fault["site"] = self.fault.site.value
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "config": asdict(self.config),
+            "fault": fault,
+            "interrupt_seqs": list(self.interrupt_seqs),
+        }
+
+    def key(self) -> str:
+        return hashlib.sha256(
+            canonical_json(self.describe()).encode()).hexdigest()
+
+
+# -- job execution (runs inside worker processes) ---------------------------
+
+def architecturally_masked(clean: Trace, faulty: Trace) -> bool:
+    """True when a fault left no architecturally visible difference."""
+    if len(clean) != len(faulty):
+        return False
+    if clean.final_xregs != faulty.final_xregs:
+        return False
+    if clean.final_fregs != faulty.final_fregs:
+        return False
+    clean_mem = {a: v for a, v in clean.memory.items() if v}
+    faulty_mem = {a: v for a, v in faulty.memory.items() if v}
+    return clean_mem == faulty_mem
+
+
+def _run_record(spec: JobSpec, config_key: str, result) -> RunRecord:
+    report = result.report
+    return RunRecord(
+        benchmark=spec.benchmark,
+        scale=spec.scale,
+        config_key=config_key,
+        main_cycles=result.main_cycles,
+        system_cycles=result.system_cycles,
+        instructions=result.core.instructions,
+        delays_ns=tuple(report.delays_ns.values),
+        segments_checked=report.segments_checked,
+        entries_checked=report.entries_checked,
+        closes_by_reason=tuple(sorted(report.closes_by_reason.items())),
+        checkpoints_taken=report.checkpoints_taken,
+        checkpoint_stall_cycles=report.checkpoint_stall_cycles,
+        log_full_stall_cycles=report.log_full_stall_cycles,
+        checker_busy_ticks=tuple(report.checker_busy_ticks),
+        all_checks_done_tick=report.all_checks_done_tick,
+        detected=report.detected,
+    )
+
+
+def _fault_record(spec: JobSpec, config_key: str) -> CoverageRecord:
+    fault = spec.fault
+    program = build_benchmark(spec.benchmark, spec.scale)
+    clean = benchmark_trace(spec.benchmark, spec.scale)
+    injector = FaultInjector([fault])
+    faulty = execute_program(program, fault_injector=injector)
+    detection_side = fault.site in (FaultSite.CHECKPOINT, FaultSite.CHECKER)
+    activated = bool(injector.activations) or detection_side
+
+    latency_us = None
+    first_segment = first_entry = None
+    if not activated:
+        outcome = "not_activated"
+    else:
+        side = system_faults([fault])
+        run = run_with_detection(
+            faulty, spec.config,
+            checkpoint_faults=side["checkpoint"] or None,
+            checker_faults=side["checker"] or None,
+            interrupt_seqs=list(spec.interrupt_seqs) or None)
+        if run.report.detected:
+            outcome = "detected"
+            event = run.report.first_event
+            latency_us = ticks_to_us(
+                event.detect_tick - event.segment_close_tick)
+            first_segment, first_entry = run.report.first_error_position()
+        elif architecturally_masked(clean, faulty):
+            outcome = "masked"
+        else:
+            outcome = "escaped"
+    return CoverageRecord(
+        benchmark=spec.benchmark,
+        scale=spec.scale,
+        config_key=config_key,
+        site=fault.site.value,
+        seq=fault.seq,
+        bit=fault.bit,
+        activated=activated,
+        outcome=outcome,
+        detect_latency_us=latency_us,
+        first_error_segment=first_segment,
+        first_error_entry=first_entry,
+    )
+
+
+def _recovery_record(spec: JobSpec, config_key: str) -> RecoveryRecord:
+    from repro.recovery.rollback import detect_and_recover
+
+    fault = spec.fault
+    program = build_benchmark(spec.benchmark, spec.scale)
+    clean = benchmark_trace(spec.benchmark, spec.scale)
+    injector = FaultInjector([fault])
+    faulty = execute_program(program, fault_injector=injector)
+    if not injector.activations:
+        return RecoveryRecord(
+            benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
+            site=fault.site.value, seq=fault.seq, bit=fault.bit,
+            activated=False, detected=False, rollback_seq=None,
+            replayed_instructions=0, recovered=False, state_correct=False,
+            trace_len=len(clean))
+    outcome = detect_and_recover(program, faulty, spec.config)
+    return RecoveryRecord(
+        benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
+        site=fault.site.value, seq=fault.seq, bit=fault.bit,
+        activated=True, detected=outcome.detected,
+        rollback_seq=outcome.rollback_seq,
+        replayed_instructions=outcome.replayed_instructions,
+        recovered=outcome.recovered, state_correct=outcome.state_correct,
+        trace_len=len(clean))
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Execute one job and return its record as a plain dict.
+
+    This is the single execution entry point shared by serial runs and
+    pool workers; per-process trace caches in the suite registry keep
+    repeated jobs on the same benchmark cheap within one worker.
+    """
+    config_key = config_fingerprint(spec.config)
+    if spec.kind == "baseline":
+        trace = benchmark_trace(spec.benchmark, spec.scale)
+        core = run_unprotected(trace, spec.config)
+        record = BaselineRecord(
+            benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
+            cycles=core.cycles, instructions=core.instructions,
+            system_cycles=core.system_cycles)
+    elif spec.kind == "detection":
+        trace = benchmark_trace(spec.benchmark, spec.scale)
+        result = run_with_detection(
+            trace, spec.config,
+            interrupt_seqs=list(spec.interrupt_seqs) or None)
+        record = _run_record(spec, config_key, result)
+    elif spec.kind == "fault":
+        record = _fault_record(spec, config_key)
+    elif spec.kind == "recovery":
+        record = _recovery_record(spec, config_key)
+    else:
+        raise ValueError(f"unknown job kind {spec.kind!r}; "
+                         f"one of {JOB_KINDS} expected")
+    return record_to_dict(record)
+
+
+def _execute_shard(items: list[tuple[int, JobSpec]]) -> list[tuple[int, dict]]:
+    """Worker entry: execute one shard, tagging results with job indices."""
+    return [(index, execute_job(spec)) for index, spec in items]
+
+
+# -- the on-disk cache -------------------------------------------------------
+
+class RunCache:
+    """Content-addressed result store: ``<root>/<key[:2]>/<key>.json``.
+
+    Files are canonical-JSON envelopes ``{key, schema, record}`` written
+    atomically (temp file + rename), so a campaign killed mid-write never
+    leaves a corrupt entry behind — unreadable or mismatched files read
+    as misses and are re-executed.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("key") != key
+                or envelope.get("schema") != CACHE_SCHEMA_VERSION
+                or not isinstance(envelope.get("record"), dict)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["record"]
+
+    def put(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = canonical_json(
+            {"key": key, "schema": CACHE_SCHEMA_VERSION, "record": record})
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(envelope)
+        os.replace(tmp, path)
+        self.writes += 1
+
+
+# -- grids -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """A declarative, ordered set of campaign jobs."""
+
+    jobs: tuple[JobSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def shard(self, index: int, count: int) -> "CampaignGrid":
+        """Deterministic round-robin sub-grid ``index`` of ``count``.
+
+        Shards partition the grid: running every shard (on any machine,
+        in any order) against a shared cache covers exactly the full
+        campaign.
+        """
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside 0..{count - 1}")
+        return CampaignGrid(self.jobs[index::count])
+
+
+def detection_grid(benchmarks: Sequence[str],
+                   configs: Sequence[SystemConfig],
+                   scale: str = "small",
+                   include_baselines: bool = True) -> CampaignGrid:
+    """The figure-sweep grid: every benchmark under every configuration,
+    plus the unprotected baselines the slowdown normalisation needs."""
+    jobs: list[JobSpec] = []
+    if include_baselines:
+        base_cfg = configs[0] if configs else default_config()
+        jobs.extend(JobSpec("baseline", name, scale, base_cfg)
+                    for name in benchmarks)
+    jobs.extend(JobSpec("detection", name, scale, cfg)
+                for name in benchmarks for cfg in configs)
+    return CampaignGrid(tuple(jobs))
+
+
+def fault_grid(benchmarks: Sequence[str],
+               trials: int,
+               sites: Sequence[FaultSite] = CAMPAIGN_SITES,
+               scale: str = "small",
+               config: SystemConfig | None = None,
+               seed: int = 0,
+               kind: str = "fault") -> CampaignGrid:
+    """A fault-injection grid: ``trials`` jobs per benchmark, cycling
+    through ``sites``, with fault positions drawn from a per-benchmark
+    deterministic stream (so the grid is a pure function of its
+    arguments and caches are stable across invocations).
+
+    Fault positions need each benchmark's dynamic trace length, so grid
+    construction performs one functional execution per benchmark in the
+    submitting process (memoised per process by the suite registry) —
+    cheap next to the timing runs, but not free on a fully warm cache.
+    """
+    cfg = config if config is not None else default_config()
+    jobs = []
+    for name in benchmarks:
+        clean_len = len(benchmark_trace(name, scale))
+        rng = derive(seed, f"campaign:{kind}:{name}")
+        for trial in range(trials):
+            site = sites[trial % len(sites)]
+            fault = TransientFault(
+                site,
+                seq=rng.randrange(10, clean_len - 10),
+                bit=rng.randrange(0, 48))
+            jobs.append(JobSpec(kind, name, scale, cfg, fault=fault))
+    return CampaignGrid(tuple(jobs))
+
+
+def recovery_grid(benchmarks: Sequence[str],
+                  trials: int,
+                  scale: str = "small",
+                  config: SystemConfig | None = None,
+                  seed: int = 0,
+                  site: FaultSite = FaultSite.STORE_VALUE,
+                  bit: int = 5) -> CampaignGrid:
+    """Rollback-recovery trials: one late-striking fault per job."""
+    cfg = config if config is not None else default_config()
+    jobs = []
+    for name in benchmarks:
+        clean_len = len(benchmark_trace(name, scale))
+        rng = derive(seed, f"campaign:recovery:{name}")
+        for _ in range(trials):
+            fault = TransientFault(
+                site, seq=rng.randrange(clean_len // 4, clean_len - 10),
+                bit=bit)
+            jobs.append(JobSpec("recovery", name, scale, cfg, fault=fault))
+    return CampaignGrid(tuple(jobs))
+
+
+# -- the engine --------------------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """Outcome of one engine submission, in submission order."""
+
+    jobs: tuple[JobSpec, ...]
+    keys: tuple[str, ...]
+    records: tuple[dict, ...]
+    #: jobs actually simulated in this submission (unique pending keys)
+    executed: int
+    #: job slots not simulated: served from the in-memory memo or the
+    #: on-disk cache, or duplicates of a job executed in this submission
+    #: (``executed + cached == len(jobs)`` always)
+    cached: int
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def typed_records(self) -> list:
+        return [record_from_dict(r) for r in self.records]
+
+    def records_json(self) -> str:
+        """Canonical JSON of all records — the byte-identity artefact."""
+        return canonical_json(list(self.records))
+
+
+class CampaignEngine:
+    """Executes job grids: dedupe → cache lookup → sharded pool → store.
+
+    ``workers=1`` runs everything in-process (no pool, fully serial);
+    any higher count fans pending jobs out round-robin.  Results are
+    independent of ``workers`` by construction: each job is a pure
+    function of its spec.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: str | os.PathLike | None = None) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self._memo: dict[str, dict] = {}
+
+    def run(self, jobs: Iterable[JobSpec]) -> CampaignResult:
+        specs = tuple(jobs)
+        keys = tuple(spec.key() for spec in specs)
+        records: list[dict | None] = [None] * len(specs)
+
+        # cache pass: memo first (free), then disk
+        pending: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            record = self._memo.get(key)
+            if record is None and self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._memo[key] = record
+            if record is not None:
+                records[i] = record
+            else:
+                pending.setdefault(key, []).append(i)
+
+        # execute each unique pending job exactly once; duplicate slots
+        # count as cached so executed + cached == len(specs)
+        unique = [(positions[0], key) for key, positions in pending.items()]
+        cached = len(specs) - len(unique)
+        fresh: dict[str, dict] = {}
+        if unique:
+            indexed = [(i, specs[pos]) for i, (pos, _key) in enumerate(unique)]
+            if self.workers == 1 or len(indexed) == 1:
+                outputs = _execute_shard(indexed)
+            else:
+                shards = [indexed[w::self.workers]
+                          for w in range(self.workers)]
+                shards = [s for s in shards if s]
+                with multiprocessing.Pool(len(shards)) as pool:
+                    outputs = [item for shard_out
+                               in pool.map(_execute_shard, shards)
+                               for item in shard_out]
+            for i, record in outputs:
+                fresh[unique[i][1]] = record
+
+        for key, record in fresh.items():
+            self._memo[key] = record
+            if self.cache is not None:
+                self.cache.put(key, record)
+            for i in pending[key]:
+                records[i] = record
+
+        return CampaignResult(
+            jobs=specs, keys=keys, records=tuple(records),
+            executed=len(unique), cached=cached)

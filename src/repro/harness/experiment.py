@@ -1,14 +1,16 @@
-"""Experiment runner with memoised traces and timing runs.
+"""Experiment runner: a figure-harness façade over the campaign engine.
 
 The parameter sweeps of §VI-A re-time the same committed trace under many
-configurations (checker frequency, log geometry, core counts).  The runner
-caches:
+configurations (checker frequency, log geometry, core counts).  Every run
+is submitted as a :class:`~repro.harness.campaign.JobSpec` through a
+:class:`~repro.harness.campaign.CampaignEngine`, which provides
 
-* the functional **trace** per (benchmark, scale) — via the suite registry;
-* the **unprotected baseline** per benchmark — the denominators of every
-  normalised figure;
-* each **detection run** per (benchmark, configuration) — Figure 9 and
-  Figure 11 are two views of the same runs, so the second figure is free.
+* in-memory memoisation (Figure 9 and Figure 11 are two views of the
+  same runs, so the second figure is free),
+* optional **on-disk caching** (regenerating a figure tomorrow replays
+  today's runs from the cache with zero re-executions), and
+* optional **parallel execution** across a worker pool — ``sweep()``
+  submits its whole grid in one batch so the engine can fan it out.
 
 Configurations are frozen dataclasses and hash by value, so equal-valued
 configs constructed independently share cache entries.
@@ -20,13 +22,12 @@ import os
 from dataclasses import dataclass
 
 from repro.common.config import SystemConfig, default_config
-from repro.core.ooo_core import CoreResult
-from repro.detection.system import (
-    DetectionRunResult,
-    run_unprotected,
-    run_with_detection,
-)
-from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace
+from repro.common.records import BaselineRecord, RunRecord, RunSummary, \
+    record_from_dict
+from repro.common.stats import Samples
+from repro.detection.system import DetectionReport
+from repro.harness.campaign import CampaignEngine, JobSpec
+from repro.workloads.suite import BENCHMARK_ORDER
 
 #: environment knob: REPRO_BENCH_SCALE=small shrinks every workload for
 #: quick smoke runs of the benchmark harness.
@@ -39,44 +40,88 @@ def bench_scale() -> str:
 
 
 @dataclass(frozen=True)
-class RunSummary:
-    """One benchmark × configuration data point."""
+class DetectionRunView:
+    """A detection run reconstituted from its campaign record.
 
-    benchmark: str
-    slowdown: float
-    mean_delay_ns: float
-    max_delay_ns: float
-    base_cycles: int
-    det_cycles: int
+    Mirrors the parts of :class:`repro.detection.system.DetectionRunResult`
+    the harness consumes: cycle counts plus a full
+    :class:`~repro.detection.system.DetectionReport` (delay samples,
+    closure accounting, stall breakdown).  Fault-free timing runs carry
+    no events, so ``report.events`` is always empty here.
+    """
+
+    record: RunRecord
+    report: DetectionReport
+
+    @property
+    def main_cycles(self) -> int:
+        return self.record.main_cycles
+
+    @property
+    def system_cycles(self) -> int:
+        return self.record.system_cycles
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "DetectionRunView":
+        delays = Samples()
+        delays.extend(list(record.delays_ns))
+        report = DetectionReport(
+            delays_ns=delays,
+            segments_checked=record.segments_checked,
+            entries_checked=record.entries_checked,
+            closes_by_reason=dict(record.closes_by_reason),
+            log_full_stall_cycles=record.log_full_stall_cycles,
+            checkpoint_stall_cycles=record.checkpoint_stall_cycles,
+            checkpoints_taken=record.checkpoints_taken,
+            checker_busy_ticks=list(record.checker_busy_ticks),
+            all_checks_done_tick=record.all_checks_done_tick,
+        )
+        return cls(record=record, report=report)
 
 
 class ExperimentRunner:
     """Caches baselines and detection runs across figure regenerations."""
 
     def __init__(self, scale: str | None = None,
-                 config: SystemConfig | None = None) -> None:
+                 config: SystemConfig | None = None,
+                 engine: CampaignEngine | None = None,
+                 workers: int = 1,
+                 cache_dir: str | None = None) -> None:
         self.scale = scale if scale is not None else bench_scale()
         self.default_cfg = config if config is not None else default_config()
-        self._baselines: dict[str, CoreResult] = {}
-        self._runs: dict[tuple[str, SystemConfig], DetectionRunResult] = {}
+        self.engine = engine if engine is not None else CampaignEngine(
+            workers=workers, cache_dir=cache_dir)
+        self._baselines: dict[str, BaselineRecord] = {}
+        self._runs: dict[tuple[str, SystemConfig], DetectionRunView] = {}
+
+    # -- job plumbing ---------------------------------------------------------
+
+    def _baseline_spec(self, benchmark: str) -> JobSpec:
+        return JobSpec("baseline", benchmark, self.scale, self.default_cfg)
+
+    def _detection_spec(self, benchmark: str, cfg: SystemConfig) -> JobSpec:
+        return JobSpec("detection", benchmark, self.scale, cfg)
+
+    def _submit_one(self, spec: JobSpec):
+        return record_from_dict(self.engine.run([spec]).records[0])
 
     # -- primitives -----------------------------------------------------------
 
-    def baseline(self, benchmark: str) -> CoreResult:
+    def baseline(self, benchmark: str) -> BaselineRecord:
         """Unprotected main-core timing (cached)."""
         if benchmark not in self._baselines:
-            trace = benchmark_trace(benchmark, self.scale)
-            self._baselines[benchmark] = run_unprotected(trace, self.default_cfg)
+            self._baselines[benchmark] = self._submit_one(
+                self._baseline_spec(benchmark))
         return self._baselines[benchmark]
 
     def detection(self, benchmark: str,
-                  config: SystemConfig | None = None) -> DetectionRunResult:
+                  config: SystemConfig | None = None) -> DetectionRunView:
         """Detection-attached timing (cached per benchmark × config)."""
         cfg = config if config is not None else self.default_cfg
         key = (benchmark, cfg)
         if key not in self._runs:
-            trace = benchmark_trace(benchmark, self.scale)
-            self._runs[key] = run_with_detection(trace, cfg)
+            self._runs[key] = DetectionRunView.from_record(
+                self._submit_one(self._detection_spec(benchmark, cfg)))
         return self._runs[key]
 
     # -- derived ---------------------------------------------------------------
@@ -99,9 +144,21 @@ class ExperimentRunner:
               ) -> dict[str, list[RunSummary]]:
         """Run every benchmark under every configuration.
 
+        The whole grid is submitted to the engine in one batch, so a
+        parallel engine overlaps the cells; results come back through
+        the same per-runner memo as single-cell queries.
+
         Returns ``{benchmark: [summary per config, in order]}``.
         """
         names = benchmarks if benchmarks is not None else list(BENCHMARK_ORDER)
+        specs = [self._baseline_spec(name) for name in names
+                 if name not in self._baselines]
+        specs += [self._detection_spec(name, cfg)
+                  for name in names for cfg in configs
+                  if (name, cfg) not in self._runs]
+        if specs:
+            # warm the engine memo; summary() below is then pure assembly
+            self.engine.run(specs)
         return {
             name: [self.summary(name, cfg) for cfg in configs]
             for name in names
@@ -112,8 +169,17 @@ _DEFAULT_RUNNER: ExperimentRunner | None = None
 
 
 def default_runner() -> ExperimentRunner:
-    """A process-wide shared runner, so figure benchmarks share runs."""
+    """A process-wide shared runner, so figure benchmarks share runs.
+
+    Rebuilt whenever the requested scale *or* the default configuration
+    changes — a stale runner must never keep serving runs timed under a
+    configuration that is no longer the default.
+    """
     global _DEFAULT_RUNNER
-    if _DEFAULT_RUNNER is None or _DEFAULT_RUNNER.scale != bench_scale():
-        _DEFAULT_RUNNER = ExperimentRunner()
+    scale = bench_scale()
+    cfg = default_config()
+    if (_DEFAULT_RUNNER is None
+            or _DEFAULT_RUNNER.scale != scale
+            or _DEFAULT_RUNNER.default_cfg != cfg):
+        _DEFAULT_RUNNER = ExperimentRunner(scale=scale, config=cfg)
     return _DEFAULT_RUNNER

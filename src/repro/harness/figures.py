@@ -2,10 +2,13 @@
 DESIGN.md §5).
 
 Each ``figNN`` function runs the experiment through a shared
-:class:`~repro.harness.experiment.ExperimentRunner` and returns
-``(text, data)``: a paper-style plain-text rendering plus the raw series
-for programmatic checks.  The ``benchmarks/`` directory wraps these in
-pytest-benchmark entries; EXPERIMENTS.md records paper-vs-measured.
+:class:`~repro.harness.experiment.ExperimentRunner` — whose runs are
+campaign jobs, so a runner built with ``workers``/``cache_dir`` (or the
+``figures --workers/--cache-dir`` CLI flags) regenerates figures in
+parallel and incrementally — and returns ``(text, data)``: a paper-style
+plain-text rendering plus the raw series for programmatic checks.  The
+``benchmarks/`` directory wraps these in pytest-benchmark entries;
+EXPERIMENTS.md records paper-vs-measured.
 """
 
 from __future__ import annotations

@@ -1,0 +1,97 @@
+"""Tests for the serialisable campaign/figure result records."""
+
+import json
+
+import pytest
+
+from repro.common.records import (
+    BaselineRecord,
+    CoverageRecord,
+    RecoveryRecord,
+    RunRecord,
+    RunSummary,
+    canonical_json,
+    record_from_dict,
+    record_from_json,
+    record_to_dict,
+    record_to_json,
+)
+
+
+def make_run_record(**overrides) -> RunRecord:
+    base = dict(
+        benchmark="stream", scale="small", config_key="ab" * 32,
+        main_cycles=1000, system_cycles=1100, instructions=900,
+        delays_ns=(10.0, 20.5, 30.25), segments_checked=3,
+        entries_checked=120,
+        closes_by_reason=(("full", 2), ("termination", 1)),
+        checkpoints_taken=3, checkpoint_stall_cycles=48,
+        log_full_stall_cycles=0, checker_busy_ticks=(5, 7, 0),
+        all_checks_done_tick=123456, detected=False)
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+
+class TestRoundTrips:
+    def test_run_record(self):
+        record = make_run_record()
+        assert record_from_dict(record_to_dict(record)) == record
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_baseline_record(self):
+        record = BaselineRecord("stream", "small", "cd" * 32,
+                                cycles=900, instructions=800,
+                                system_cycles=900)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_coverage_record_with_nones(self):
+        record = CoverageRecord(
+            benchmark="bodytrack", scale="small", config_key="ef" * 32,
+            site="store_value", seq=123, bit=5, activated=False,
+            outcome="not_activated", detect_latency_us=None,
+            first_error_segment=None, first_error_entry=None)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_recovery_record(self):
+        record = RecoveryRecord(
+            benchmark="freqmine", scale="small", config_key="01" * 32,
+            site="store_value", seq=500, bit=5, activated=True,
+            detected=True, rollback_seq=480, replayed_instructions=100,
+            recovered=True, state_correct=True, trace_len=2000)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_run_summary(self):
+        summary = RunSummary("stream", 1.02, 400.0, 9000.0, 1000, 1020)
+        assert record_from_dict(record_to_dict(summary)) == summary
+
+    def test_unknown_field_rejected(self):
+        payload = record_to_dict(make_run_record())
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            record_from_dict(payload)
+
+    def test_canonical_bytes_stable(self):
+        a = record_to_json(make_run_record())
+        b = record_to_json(make_run_record())
+        assert a == b
+        assert json.loads(a)["record_type"] == "RunRecord"
+
+
+class TestDelayStats:
+    def test_mean_max(self):
+        record = make_run_record()
+        assert record.mean_delay_ns() == pytest.approx(60.75 / 3)
+        assert record.max_delay_ns() == 30.25
+
+    def test_empty_delays_are_zero(self):
+        record = make_run_record(delays_ns=())
+        assert record.mean_delay_ns() == 0.0
+        assert record.max_delay_ns() == 0.0

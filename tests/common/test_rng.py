@@ -31,3 +31,22 @@ def test_derive_from_rng_consumes_state():
     first = derive(base1, "salt")
     second = derive(base2, "salt")
     assert first.random() == second.random()
+
+
+def test_derive_stable_across_processes():
+    """Regression: derived sub-streams must not depend on Python's
+    per-process string-hash randomisation — campaign workers and the
+    on-disk run cache key results by values drawn from these streams."""
+    import os
+    import subprocess
+    import sys
+
+    code = ("from repro.common.rng import derive; "
+            "print(repr(derive(7, 'campaign:fault:stream').random()))")
+    outputs = set()
+    for hash_seed in ("0", "1", "random"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        outputs.add(subprocess.check_output(
+            [sys.executable, "-c", code], env=env, text=True).strip())
+    assert len(outputs) == 1
+    assert outputs.pop() == repr(derive(7, "campaign:fault:stream").random())

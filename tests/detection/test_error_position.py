@@ -61,3 +61,49 @@ class TestFirstErrorPosition:
         seg_first, _ = result.report.first_error_position()
         segments = sorted(e.error.segment_index for e in result.report.events)
         assert seg_first == segments[0]
+
+
+class TestTieBreaking:
+    """Satellite hardening: ordering of checkpoint-validation errors
+    (``entry_index=None``) against entry errors, constructed directly so
+    every tie case is exercised."""
+
+    @staticmethod
+    def _report(*errors):
+        from repro.detection.checker import CheckError, ErrorKind
+        from repro.detection.system import DetectionEvent, DetectionReport
+        report = DetectionReport()
+        for i, (segment, entry) in enumerate(errors):
+            kind = (ErrorKind.CHECKPOINT_MISMATCH if entry is None
+                    else ErrorKind.STORE_VALUE_MISMATCH)
+            report.events.append(DetectionEvent(
+                error=CheckError(kind=kind, segment_index=segment,
+                                 entry_index=entry, detail="synthetic"),
+                # detect ticks deliberately run *backwards*: position must
+                # come from program order, never detection time
+                detect_tick=1000 - i,
+                segment_close_tick=0))
+        return report
+
+    def test_entry_error_beats_checkpoint_error_same_segment(self):
+        report = self._report((2, None), (2, 17))
+        assert report.first_error_position() == (2, 17)
+
+    def test_checkpoint_error_wins_earlier_segment(self):
+        report = self._report((3, 0), (1, None))
+        assert report.first_error_position() == (1, None)
+
+    def test_entry_zero_beats_none(self):
+        # entry 0 is falsy: the tie-break must test "is not None", not
+        # truthiness, or the first entry of a segment loses to the
+        # segment's checkpoint validation
+        report = self._report((4, None), (4, 0))
+        assert report.first_error_position() == (4, 0)
+
+    def test_lowest_entry_wins_within_segment(self):
+        report = self._report((5, 9), (5, 3), (5, None))
+        assert report.first_error_position() == (5, 3)
+
+    def test_only_checkpoint_errors(self):
+        report = self._report((6, None), (2, None))
+        assert report.first_error_position() == (2, None)

@@ -112,3 +112,43 @@ class TestLogEntry:
         assert "load" in LogEntry(LOAD, 0x10, 1, 0).describe()
         assert "store" in LogEntry(STORE, 0x10, 1, 0).describe()
         assert "nondet" in LogEntry(NONDET, 0, 1, 0).describe()
+
+
+class TestCloseReasonAccounting:
+    """Satellite hardening: closure accounting must stay exact across
+    every close reason, including mixes within one builder."""
+
+    def test_each_reason_counted(self):
+        snap = ArchStateTracker().snapshot(0)
+        b = make_builder(capacity=4, timeout=10, slots=4)
+        for i, reason in enumerate([CloseReason.FULL, CloseReason.TIMEOUT,
+                                    CloseReason.INTERRUPT,
+                                    CloseReason.TERMINATION]):
+            b.append(entries(1))
+            b.count_instruction()
+            closed = b.close(reason, snap, end_seq=i + 1, close_tick=i)
+            assert closed.close_reason is reason
+        assert b.segments_closed == 4
+        assert b.closes_by_reason == {r: 1 for r in CloseReason}
+
+    def test_repeated_reason_accumulates(self):
+        snap = ArchStateTracker().snapshot(0)
+        b = make_builder(capacity=4, timeout=None, slots=2)
+        for i in range(5):
+            b.append(entries(4))
+            b.close(CloseReason.FULL, snap, end_seq=i + 1, close_tick=i)
+        b.close(CloseReason.TERMINATION, snap, end_seq=6, close_tick=5)
+        assert b.closes_by_reason[CloseReason.FULL] == 5
+        assert b.closes_by_reason[CloseReason.TERMINATION] == 1
+        assert b.closes_by_reason[CloseReason.TIMEOUT] == 0
+        assert b.closes_by_reason[CloseReason.INTERRUPT] == 0
+        assert b.segments_closed == 6
+
+    def test_counts_sum_to_segments_closed(self):
+        snap = ArchStateTracker().snapshot(0)
+        b = make_builder(capacity=4, timeout=3, slots=3)
+        reasons = [CloseReason.FULL, CloseReason.FULL, CloseReason.TIMEOUT,
+                   CloseReason.INTERRUPT, CloseReason.TERMINATION]
+        for i, reason in enumerate(reasons):
+            b.close(reason, snap, end_seq=i + 1, close_tick=i)
+        assert sum(b.closes_by_reason.values()) == b.segments_closed == 5

@@ -171,3 +171,57 @@ class TestUtilisation:
         active = [t for t in busy if t > 0]
         assert len(active) >= min(report.segments_checked,
                                   config.checker.num_cores)
+
+
+class TestEmptyTraceDelays:
+    """Regression: a run whose trace commits no loads or stores has an
+    empty delay sample set — the delay statistics must read as 0.0, not
+    raise."""
+
+    @staticmethod
+    def _memoryless_trace():
+        from repro.isa.instructions import Opcode
+        from repro.isa.program import ProgramBuilder
+        b = ProgramBuilder("nomem")
+        b.emit(Opcode.MOVI, rd=1, imm=3)
+        b.emit(Opcode.MOVI, rd=2, imm=4)
+        b.emit(Opcode.ADD, rd=3, rs1=1, rs2=2)
+        b.emit(Opcode.XORI, rd=3, rs1=3, imm=0x55)
+        b.emit(Opcode.HALT)
+        return execute_program(b.build())
+
+    def test_delay_stats_zero_not_error(self, config):
+        result = run_with_detection(self._memoryless_trace(), config)
+        report = result.report
+        assert len(report.delays_ns) == 0
+        assert report.mean_delay_ns() == 0.0
+        assert report.max_delay_ns() == 0.0
+
+    def test_clean_report_shape(self, config):
+        report = run_with_detection(self._memoryless_trace(), config).report
+        assert not report.detected
+        assert report.first_error_position() is None
+        # the final partial segment still closes and is checked
+        assert report.closes_by_reason["termination"] == 1
+
+
+class TestCloseReasonReport:
+    """Closure accounting must be exact end-to-end for every reason."""
+
+    def test_full_and_termination(self, rmw_trace, config):
+        report = run_with_detection(rmw_trace, config).report
+        closes = report.closes_by_reason
+        assert closes["full"] > 0
+        assert closes["termination"] == 1
+        assert closes["timeout"] == 0 and closes["interrupt"] == 0
+        assert sum(closes.values()) == report.segments_checked
+
+    def test_timeout_interrupt_termination(self, alu_trace, config):
+        cfg = config.with_log(config.detection.log_bytes, 700)
+        report = run_with_detection(
+            alu_trace, cfg, interrupt_seqs=[350]).report
+        closes = report.closes_by_reason
+        assert closes["timeout"] > 0
+        assert closes["interrupt"] == 1
+        assert closes["termination"] == 1
+        assert sum(closes.values()) == report.segments_checked

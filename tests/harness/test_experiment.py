@@ -60,3 +60,60 @@ class TestScale:
         assert bench_scale() == "small"
         monkeypatch.delenv("REPRO_BENCH_SCALE")
         assert bench_scale() == "default"
+
+
+class TestDefaultRunner:
+    def test_shared_across_calls(self, monkeypatch):
+        import repro.harness.experiment as exp
+        monkeypatch.setattr(exp, "_DEFAULT_RUNNER", None)
+        assert exp.default_runner() is exp.default_runner()
+
+    def test_invalidated_on_scale_change(self, monkeypatch):
+        import repro.harness.experiment as exp
+        monkeypatch.setattr(exp, "_DEFAULT_RUNNER", None)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        small = exp.default_runner()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "default")
+        assert exp.default_runner() is not small
+
+    def test_invalidated_on_default_config_change(self, monkeypatch):
+        """Satellite regression: a stale shared runner must not keep
+        serving runs timed under a configuration that is no longer the
+        default."""
+        import repro.harness.experiment as exp
+        monkeypatch.setattr(exp, "_DEFAULT_RUNNER", None)
+        before = exp.default_runner()
+        changed = before.default_cfg.with_checker_cores(6)
+        monkeypatch.setattr(exp, "default_config", lambda: changed)
+        after = exp.default_runner()
+        assert after is not before
+        assert after.default_cfg == changed
+        # and it is sticky: same config -> same runner again
+        assert exp.default_runner() is after
+
+
+class TestEngineIntegration:
+    def test_sweep_batches_through_engine(self, runner):
+        cfg = runner.default_cfg.with_checker_freq(250.0)
+        sweep = runner.sweep([cfg], benchmarks=["stream"])
+        # the sweep's runs landed in the engine memo: re-querying the
+        # same cell executes nothing new
+        result = runner.engine.run(
+            [runner._detection_spec("stream", cfg)])
+        assert result.executed == 0
+        assert sweep["stream"][0].slowdown >= 1.0
+
+    def test_disk_cache_shared_between_runners(self, tmp_path):
+        from repro.harness.experiment import ExperimentRunner
+        first = ExperimentRunner(scale="small", cache_dir=tmp_path)
+        warm = first.summary("stream")
+        second = ExperimentRunner(scale="small", cache_dir=tmp_path)
+        assert second.summary("stream") == warm
+        assert second.engine.cache.hits > 0
+
+    def test_detection_view_report_fields(self, runner):
+        det = runner.detection("stream")
+        assert det.report.segments_checked > 0
+        assert sum(det.report.closes_by_reason.values()) \
+            == det.report.segments_checked
+        assert len(det.report.delays_ns) == det.record.entries_checked
