@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Compare error-detection schemes on your workload (paper Figure 1).
 
-Times one workload under the three schemes the paper contrasts —
-dual-core lockstep, redundant multithreading (RMT), and parallel error
-detection on heterogeneous cores — and prints the three-way trade-off
-(performance, area, energy) plus detection latency.
+Times one workload under every scheme in the protection-scheme registry
+— unprotected, dual-core lockstep, redundant multithreading (RMT), and
+parallel error detection on heterogeneous cores — and prints the
+trade-off (performance, area, energy) plus detection latency and the
+capability flags.  Everything comes from one unified interface: a
+registered scheme is automatically a row in this table.
 
 Run:  python examples/scheme_comparison.py [benchmark]
       (default benchmark: bodytrack; any Table II name works)
@@ -12,12 +14,8 @@ Run:  python examples/scheme_comparison.py [benchmark]
 
 import sys
 
-from repro.analysis.area import area_model
-from repro.analysis.power import energy_overhead_per_run, power_model
-from repro.baselines.lockstep import run_lockstep
-from repro.baselines.rmt import run_rmt
 from repro.common.config import default_config
-from repro.detection.system import run_unprotected, run_with_detection
+from repro.schemes import iter_schemes
 from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace
 
 
@@ -28,39 +26,24 @@ def main() -> None:
                          f"choose from {', '.join(BENCHMARK_ORDER)}")
     config = default_config()
     trace = benchmark_trace(name, "small")
-    base = run_unprotected(trace, config)
 
-    lockstep = run_lockstep(trace, config)
-    rmt = run_rmt(trace, config)
-    ours = run_with_detection(trace, config)
-    area = area_model(config)
-    power = power_model(config)
-    ours_slow = ours.main_cycles / base.cycles
-    ours_energy = energy_overhead_per_run(ours_slow, power.overhead)
-
-    print(f"workload: {name} ({len(trace)} instructions, "
-          f"baseline {base.cycles} cycles)\n")
-    header = (f"{'scheme':<12}{'slowdown':>10}{'area ovh':>10}"
+    print(f"workload: {name} ({len(trace)} instructions)\n")
+    header = (f"{'scheme':<13}{'slowdown':>10}{'area ovh':>10}"
               f"{'energy ovh':>12}{'detect lat':>12}{'hard faults':>13}")
     print(header)
     print("-" * len(header))
-    print(f"{'lockstep':<12}"
-          f"{lockstep.slowdown_vs_unprotected:>10.3f}"
-          f"{'100%':>10}{'100%':>12}"
-          f"{lockstep.detection_latency_ns:>10.1f}ns"
-          f"{'yes':>13}")
-    print(f"{'RMT':<12}"
-          f"{rmt.slowdown_vs_unprotected:>10.3f}"
-          f"{100 * rmt.area_overhead:>9.0f}%"
-          f"{100 * rmt.energy_overhead:>11.0f}%"
-          f"{rmt.detection_latency_ns:>10.1f}ns"
-          f"{'no':>13}")
-    print(f"{'ours':<12}"
-          f"{ours_slow:>10.3f}"
-          f"{100 * area.overhead_vs_core:>9.0f}%"
-          f"{100 * ours_energy:>11.0f}%"
-          f"{ours.report.mean_delay_ns():>10.1f}ns"
-          f"{'yes':>13}")
+    for scheme in iter_schemes():
+        timing = scheme.time(trace, config)
+        row = scheme.overheads(timing, config)
+        latency = (f"{row.detection_latency_ns:>10.1f}ns"
+                   if row.detection_latency_ns is not None
+                   else f"{'-':>12}")
+        print(f"{scheme.name:<13}"
+              f"{row.slowdown:>10.3f}"
+              f"{100 * row.area_overhead:>9.0f}%"
+              f"{100 * row.energy_overhead:>11.0f}%"
+              f"{latency}"
+              f"{'yes' if scheme.covers_hard_faults else 'no':>13}")
 
     print("\nreading the table (paper Figure 1d):")
     print("  lockstep buys instant detection with a duplicated core;")

@@ -7,15 +7,18 @@ Commands:
     table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, area,
     power.  ``--workers``/``--cache-dir`` parallelise and cache the
     underlying runs through the campaign engine.
-``campaign [--benchmark NAMES] [--trials N] [--workers N]
-[--cache-dir DIR] [--shard K/N] [--json]``
-    Run a fault-injection (or ``--kind recovery``) campaign grid through
-    the parallel engine.  Identical grids are incremental: a warm cache
+``campaign [--kind baseline|detection|fault|recovery] [--scheme NAME]
+[--benchmark NAMES] [--trials N] [--workers N] [--cache-dir DIR]
+[--shard K/N] [--json]``
+    Run a campaign grid through the parallel engine under any registered
+    protection scheme (``unprotected``, ``lockstep``, ``rmt``,
+    ``detection``).  Identical grids are incremental: a warm cache
     directory replays every job with zero re-executions.
 ``bench NAME [--scale small|default]``
     Run one Table II benchmark under detection and print its summary.
-``list``
-    List available benchmarks.
+``list [--schemes]``
+    List available benchmarks, or the registered protection schemes and
+    their capability flags.
 """
 
 from __future__ import annotations
@@ -24,7 +27,9 @@ import argparse
 import sys
 
 from repro.harness import figures as fig_mod
+from repro.harness.campaign import JOB_KINDS
 from repro.harness.experiment import ExperimentRunner
+from repro.schemes import scheme_names
 
 FIGURE_COMMANDS = {
     "table1": lambda runner: fig_mod.table1(),
@@ -72,28 +77,33 @@ def _parse_shard(text: str) -> tuple[int, int]:
     return index, count
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.common.records import canonical_json
-    from repro.harness.campaign import (
-        CampaignEngine, fault_grid, recovery_grid)
-    from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+def _timing_summary(result, names: list[str]) -> dict:
+    """Aggregate ``baseline``/``detection``-kind records (no outcomes)."""
+    slowdowns, latencies = [], []
+    for record in result.records:
+        if record["record_type"] == "SchemeRunResult":
+            slowdowns.append(record["slowdown"])
+            if record["detection_latency_ns"] is not None:
+                latencies.append(record["detection_latency_ns"])
+        else:  # RunRecord: rich detection run, no baseline to normalise by
+            delays = record["delays_ns"]
+            if delays:
+                latencies.append(sum(delays) / len(delays))
+    return {
+        "benchmarks": names,
+        "jobs": len(result),
+        "executed": result.executed,
+        "cached": result.cached,
+        "mean_slowdown": (
+            sum(slowdowns) / len(slowdowns) if slowdowns else None),
+        "mean_detection_latency_ns": (
+            sum(latencies) / len(latencies) if latencies else None),
+    }
 
-    names = (list(BENCHMARK_ORDER) if args.benchmark == "all"
-             else args.benchmark.split(","))
-    unknown = [n for n in names if n not in BENCHMARKS]
-    if unknown:
-        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
 
-    build = recovery_grid if args.kind == "recovery" else fault_grid
-    grid = build(names, trials=args.trials, scale=args.scale, seed=args.seed)
-    if args.shard is not None:
-        index, count = args.shard
-        grid = grid.shard(index, count)
-
-    engine = CampaignEngine(workers=args.workers, cache_dir=args.cache_dir)
-    result = engine.run(grid)
-
+def _coverage_summary(result, names: list[str]) -> tuple[dict, int]:
+    """Aggregate ``fault``/``recovery``-kind records; returns the summary
+    and the number of escaped (SDC) trials."""
     outcomes: dict[str, int] = {}
     latencies = []
     for record in result.records:
@@ -112,7 +122,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         1 for r in result.records
         if r.get("outcome") == "detected" or r.get("detected"))
     summary = {
-        "kind": args.kind,
         "benchmarks": names,
         "jobs": len(result),
         "executed": result.executed,
@@ -123,22 +132,80 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "mean_detect_latency_us": (
             sum(latencies) / len(latencies) if latencies else None),
     }
+    return summary, outcomes.get("escaped", 0)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.common.config import default_config
+    from repro.common.records import canonical_json
+    from repro.harness.campaign import (
+        CampaignEngine, detection_grid, fault_grid, recovery_grid,
+        scheme_grid)
+    from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+    names = (list(BENCHMARK_ORDER) if args.benchmark == "all"
+             else args.benchmark.split(","))
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.kind == "fault":
+            grid = fault_grid(names, trials=args.trials, scale=args.scale,
+                              seed=args.seed, scheme=args.scheme)
+        elif args.kind == "recovery":
+            grid = recovery_grid(names, trials=args.trials, scale=args.scale,
+                                 seed=args.seed, scheme=args.scheme)
+        elif args.kind == "baseline":
+            grid = scheme_grid(names, [args.scheme], scale=args.scale)
+        else:  # detection: the paper scheme's rich fault-free runs
+            grid = detection_grid(names, [default_config()], scale=args.scale,
+                                  include_baselines=False, scheme=args.scheme)
+    except ValueError as error:
+        print(f"cannot build {args.kind} grid: {error}", file=sys.stderr)
+        return 2
+    if args.shard is not None:
+        index, count = args.shard
+        grid = grid.shard(index, count)
+
+    engine = CampaignEngine(workers=args.workers, cache_dir=args.cache_dir)
+    result = engine.run(grid)
+
+    timing_kind = args.kind in ("baseline", "detection")
+    escaped = 0
+    if timing_kind:
+        summary = _timing_summary(result, names)
+    else:
+        summary, escaped = _coverage_summary(result, names)
+    summary = {"kind": args.kind, "scheme": args.scheme, **summary}
+
     if args.json:
         print(canonical_json({"summary": summary,
                               "records": list(result.records)}))
-        return 0
+        # same contract as the human-readable path: escapes are failures
+        return 1 if escaped else 0
 
-    print(f"{args.kind} campaign over {', '.join(names)} ({args.scale}): "
-          f"{len(result)} jobs, {result.executed} executed, "
+    print(f"{args.kind} campaign [{args.scheme}] over {', '.join(names)} "
+          f"({args.scale}): {len(result)} jobs, {result.executed} executed, "
           f"{result.cached} from cache")
-    print(f"  activated: {activated}  detected: {detected} "
-          f"({100 * detected / max(1, activated):.1f}% of activated)")
-    for outcome, count in sorted(outcomes.items()):
+    if timing_kind:
+        if summary["mean_slowdown"] is not None:
+            print(f"  mean slowdown:          "
+                  f"{summary['mean_slowdown']:.4f}")
+        if summary["mean_detection_latency_ns"] is not None:
+            print(f"  mean detection latency: "
+                  f"{summary['mean_detection_latency_ns']:.0f} ns")
+        return 0
+    print(f"  activated: {summary['activated']}  "
+          f"detected: {summary['detected']} "
+          f"({100 * summary['detected'] / max(1, summary['activated']):.1f}% "
+          f"of activated)")
+    for outcome, count in sorted(summary["outcomes"].items()):
         print(f"  {outcome:<14} {count}")
-    if latencies:
-        print(f"  mean check latency after segment close: "
+    if summary["mean_detect_latency_us"] is not None:
+        print(f"  mean detection latency: "
               f"{summary['mean_detect_latency_us']:.2f} us")
-    escaped = outcomes.get("escaped", 0)
     if escaped:
         print(f"WARNING: {escaped} fault(s) escaped detection (SDC)!")
         return 1
@@ -159,7 +226,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_list(_args: argparse.Namespace) -> int:
+def cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "schemes", False):
+        from repro.schemes import iter_schemes
+        print(f"{'scheme':<13}{'detects':>9}{'hard faults':>13}"
+              f"{'recovery':>10}  description")
+        for scheme in iter_schemes():
+            caps = scheme.capabilities()
+            print(f"{scheme.name:<13}"
+                  f"{'yes' if caps['detects_faults'] else 'no':>9}"
+                  f"{'yes' if caps['covers_hard_faults'] else 'no':>13}"
+                  f"{'yes' if caps['supports_recovery'] else 'no':>10}"
+                  f"  {scheme.description}")
+        return 0
     from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
     for name in BENCHMARK_ORDER:
         spec = BENCHMARKS[name]
@@ -208,7 +287,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--benchmark", default="bodytrack",
                         help="comma-separated benchmark names, or 'all'")
     p_camp.add_argument("--kind", default="fault",
-                        choices=["fault", "recovery"])
+                        choices=list(JOB_KINDS),
+                        help="baseline/detection = fault-free timing; "
+                             "fault = coverage; recovery = rollback")
+    p_camp.add_argument("--scheme", default="detection",
+                        choices=list(scheme_names()),
+                        help="protection scheme to run the campaign under")
     p_camp.add_argument("--trials", type=int, default=30,
                         help="jobs per benchmark (fault sites cycle)")
     p_camp.add_argument("--seed", type=int, default=0)
@@ -231,7 +315,10 @@ def make_parser() -> argparse.ArgumentParser:
                          choices=["small", "default"])
     p_bench.set_defaults(func=cmd_bench)
 
-    p_list = sub.add_parser("list", help="list benchmarks")
+    p_list = sub.add_parser("list", help="list benchmarks (or schemes)")
+    p_list.add_argument("--schemes", action="store_true",
+                        help="list registered protection schemes with "
+                             "their capability flags")
     p_list.set_defaults(func=cmd_list)
 
     p_suite = sub.add_parser("suite", help="summary over all benchmarks")

@@ -1,8 +1,15 @@
-"""Comparison baselines: unprotected, dual-core lockstep, RMT."""
+"""Comparison baselines: unprotected, dual-core lockstep, RMT.
+
+These modules hold the raw timing/overhead models; the pluggable
+comparison interface over them lives in :mod:`repro.schemes`.
+"""
 
 from repro.baselines.lockstep import LockstepResult, run_lockstep
 from repro.baselines.rmt import RMTResult, rmt_config, run_rmt
-from repro.baselines.unprotected import SchemeSummary, run_baseline
+from repro.baselines.unprotected import run_baseline
+# re-exported for backward compatibility; the record moved to the
+# unified scheme API
+from repro.schemes.base import SchemeSummary
 
 __all__ = [
     "LockstepResult",

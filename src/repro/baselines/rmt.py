@@ -40,6 +40,8 @@ class RMTResult:
 
     core: CoreResult
     cycles: int
+    #: cycles of the same trace on the core without the redundant thread
+    base_cycles: int
     slowdown_vs_unprotected: float
     detection_latency_ns: float
     area_overhead: float
@@ -75,6 +77,7 @@ def run_rmt(trace: Trace, config: SystemConfig) -> RMTResult:
     return RMTResult(
         core=shared,
         cycles=shared.cycles,
+        base_cycles=base.cycles,
         slowdown_vs_unprotected=shared.cycles / base.cycles,
         detection_latency_ns=detection_latency,
         area_overhead=RMT_AREA_OVERHEAD,

@@ -2,41 +2,18 @@
 
 This is the denominator of every normalised-performance figure in the
 paper, and the reference point for the area/power overhead claims of
-§VI-B/C.
+§VI-B/C.  The comparison row itself is produced by the registered
+``unprotected`` scheme (:mod:`repro.schemes.unprotected`), whose
+``overheads()`` derives it from a measured run.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
 from repro.core.ooo_core import CoreResult, OoOCore
 from repro.isa.executor import Trace
 
 
-@dataclass(frozen=True)
-class SchemeSummary:
-    """Qualitative + quantitative comparison row (paper Figure 1(d))."""
-
-    name: str
-    slowdown: float
-    area_overhead: float
-    energy_overhead: float
-    #: typical error-detection latency in nanoseconds (None = no detection)
-    detection_latency_ns: float | None
-
-
 def run_baseline(trace: Trace, config: SystemConfig) -> CoreResult:
     """Time ``trace`` on an unprotected main core (fresh caches/predictor)."""
     return OoOCore(config).run(trace)
-
-
-def summarize(base: CoreResult) -> SchemeSummary:
-    """The no-detection row of the comparison table."""
-    return SchemeSummary(
-        name="unprotected",
-        slowdown=1.0,
-        area_overhead=0.0,
-        energy_overhead=0.0,
-        detection_latency_ns=None,
-    )

@@ -80,6 +80,35 @@ class RunRecord:
         return max(self.delays_ns) if self.delays_ns else 0.0
 
 
+@dataclass(frozen=True)
+class SchemeRunResult:
+    """One benchmark timed under one protection scheme — the unified
+    record every registered :class:`repro.schemes.base.ProtectionScheme`
+    produces for a ``baseline``-kind campaign job.
+
+    Carries both the measured timing (cycles vs. the unprotected core)
+    and the scheme's Figure 1(d) comparison row plus capability flags,
+    so a cross-scheme sweep is a pure function of these records.
+    """
+
+    scheme: str
+    benchmark: str
+    scale: str
+    config_key: str
+    cycles: int
+    base_cycles: int
+    instructions: int
+    system_cycles: int
+    slowdown: float
+    #: typical error-detection latency in nanoseconds (None = no detection)
+    detection_latency_ns: float | None
+    area_overhead: float
+    energy_overhead: float
+    detects_faults: bool
+    covers_hard_faults: bool
+    supports_recovery: bool
+
+
 #: Classification of one fault-injection trial (§IV-I's coverage buckets).
 FAULT_OUTCOMES = ("not_activated", "masked", "detected", "escaped")
 
@@ -104,6 +133,8 @@ class CoverageRecord:
     detect_latency_us: float | None
     first_error_segment: int | None
     first_error_entry: int | None
+    #: protection scheme that classified the trial
+    scheme: str = "detection"
 
 
 @dataclass(frozen=True)
@@ -123,12 +154,14 @@ class RecoveryRecord:
     recovered: bool
     state_correct: bool
     trace_len: int
+    #: protection scheme that drove the detect→rollback→re-execute loop
+    scheme: str = "detection"
 
 
 _RECORD_TYPES = {
     cls.__name__: cls
     for cls in (BaselineRecord, RunRecord, CoverageRecord, RecoveryRecord,
-                RunSummary)
+                RunSummary, SchemeRunResult)
 }
 
 #: Record fields that round-trip through JSON as lists but are tuples in

@@ -9,11 +9,11 @@ tuples — executed through a :class:`CampaignEngine` that
   are reassembled in submission order, so worker count never changes
   what a campaign produces, only how fast;
 * **caches results content-addressed on disk**: every job has a stable
-  key — the SHA-256 of its canonical JSON description (kind, benchmark,
-  scale, the full config tree, the fault/interrupt scenario, and a
-  schema version bumped whenever record semantics change) — and a warm
-  cache replays a figure regeneration or fault campaign with zero
-  re-executions;
+  key — the SHA-256 of its canonical JSON description (kind, protection
+  scheme, benchmark, scale, the full config tree, the fault/interrupt
+  scenario, and a schema version bumped whenever record semantics
+  change) — and a warm cache replays a figure regeneration or fault
+  campaign with zero re-executions;
 * **deduplicates** identical jobs within one submission (a sweep that
   names the same config twice executes it once).
 
@@ -34,33 +34,38 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.common.config import SystemConfig, default_config
 from repro.common.records import (
-    BaselineRecord,
     CoverageRecord,
     RecoveryRecord,
     RunRecord,
+    SchemeRunResult,
     canonical_json,
     record_from_dict,
     record_to_dict,
 )
 from repro.common.rng import derive
-from repro.common.time import ticks_to_us
-from repro.detection.faults import (
-    FaultInjector,
-    FaultSite,
-    TransientFault,
-    system_faults,
-)
-from repro.detection.system import run_unprotected, run_with_detection
-from repro.isa.executor import Trace, execute_program
-from repro.workloads.suite import benchmark_trace, build_benchmark
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.detection.system import run_with_detection
+from repro.isa.executor import execute_program
+from repro.schemes import get_scheme, scheme_names
+from repro.schemes.base import ProtectionScheme
+# re-exported from its historical home here; the definition moved to the
+# scheme layer alongside its consumers
+from repro.schemes.base import architecturally_masked as architecturally_masked
+from repro.workloads.suite import benchmark_trace
 
 #: Bump whenever job execution or record layout changes meaning: every
 #: cached result carries it, so stale caches read as misses, never as
-#: silently wrong data.
-CACHE_SCHEMA_VERSION = 1
+#: silently wrong data.  v2: jobs carry a protection-scheme name, and
+#: baseline/fault/recovery records gained scheme fields.
+CACHE_SCHEMA_VERSION = 2
 
 #: Job kinds the engine knows how to execute.
 JOB_KINDS = ("baseline", "detection", "fault", "recovery")
+
+#: Default scheme per job kind when a spec does not name one: timing
+#: baselines default to the unprotected core; everything else to the
+#: paper's detection scheme (the pre-registry behaviour).
+DEFAULT_SCHEMES = {"baseline": "unprotected"}
 
 #: The six architecturally visible main-core fault sites of the §IV-I
 #: coverage campaigns (PC faults are exercised separately).
@@ -90,6 +95,15 @@ class JobSpec:
     config: SystemConfig = field(default_factory=default_config)
     fault: TransientFault | None = None
     interrupt_seqs: tuple[int, ...] = ()
+    #: protection-scheme registry name; empty resolves to the kind's
+    #: default (:data:`DEFAULT_SCHEMES`) so pre-registry call sites keep
+    #: naming the same jobs
+    scheme: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scheme:
+            object.__setattr__(
+                self, "scheme", DEFAULT_SCHEMES.get(self.kind, "detection"))
 
     def describe(self) -> dict:
         """The canonical description hashed into the cache key."""
@@ -100,6 +114,7 @@ class JobSpec:
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "kind": self.kind,
+            "scheme": self.scheme,
             "benchmark": self.benchmark,
             "scale": self.scale,
             "config": asdict(self.config),
@@ -113,19 +128,6 @@ class JobSpec:
 
 
 # -- job execution (runs inside worker processes) ---------------------------
-
-def architecturally_masked(clean: Trace, faulty: Trace) -> bool:
-    """True when a fault left no architecturally visible difference."""
-    if len(clean) != len(faulty):
-        return False
-    if clean.final_xregs != faulty.final_xregs:
-        return False
-    if clean.final_fregs != faulty.final_fregs:
-        return False
-    clean_mem = {a: v for a, v in clean.memory.items() if v}
-    faulty_mem = {a: v for a, v in faulty.memory.items() if v}
-    return clean_mem == faulty_mem
-
 
 def _run_record(spec: JobSpec, config_key: str, result) -> RunRecord:
     report = result.report
@@ -149,67 +151,86 @@ def _run_record(spec: JobSpec, config_key: str, result) -> RunRecord:
     )
 
 
-def _fault_record(spec: JobSpec, config_key: str) -> CoverageRecord:
-    fault = spec.fault
-    program = build_benchmark(spec.benchmark, spec.scale)
-    clean = benchmark_trace(spec.benchmark, spec.scale)
-    injector = FaultInjector([fault])
-    faulty = execute_program(program, fault_injector=injector)
-    detection_side = fault.site in (FaultSite.CHECKPOINT, FaultSite.CHECKER)
-    activated = bool(injector.activations) or detection_side
+def _timing_record(spec: JobSpec, scheme: ProtectionScheme,
+                   config_key: str) -> SchemeRunResult:
+    """A ``baseline``-kind job: time the benchmark under ``scheme``."""
+    trace = benchmark_trace(spec.benchmark, spec.scale)
+    timing = scheme.time(trace, spec.config)
+    summary = scheme.overheads(timing, spec.config)
+    return SchemeRunResult(
+        scheme=scheme.name,
+        benchmark=spec.benchmark,
+        scale=spec.scale,
+        config_key=config_key,
+        cycles=timing.cycles,
+        base_cycles=timing.base_cycles,
+        instructions=timing.instructions,
+        system_cycles=timing.system_cycles,
+        slowdown=summary.slowdown,
+        detection_latency_ns=summary.detection_latency_ns,
+        area_overhead=summary.area_overhead,
+        energy_overhead=summary.energy_overhead,
+        detects_faults=scheme.detects_faults,
+        covers_hard_faults=scheme.covers_hard_faults,
+        supports_recovery=scheme.supports_recovery,
+    )
 
-    latency_us = None
-    first_segment = first_entry = None
-    if not activated:
-        outcome = "not_activated"
-    else:
-        side = system_faults([fault])
-        run = run_with_detection(
-            faulty, spec.config,
-            checkpoint_faults=side["checkpoint"] or None,
-            checker_faults=side["checker"] or None,
-            interrupt_seqs=list(spec.interrupt_seqs) or None)
-        if run.report.detected:
-            outcome = "detected"
-            event = run.report.first_event
-            latency_us = ticks_to_us(
-                event.detect_tick - event.segment_close_tick)
-            first_segment, first_entry = run.report.first_error_position()
-        elif architecturally_masked(clean, faulty):
-            outcome = "masked"
-        else:
-            outcome = "escaped"
+
+def _detection_record(spec: JobSpec, scheme: ProtectionScheme,
+                      config_key: str) -> RunRecord:
+    """A ``detection``-kind job: the paper scheme's *rich* fault-free run
+    (delay distribution, closure accounting, stall breakdown).  Other
+    schemes have no detection report; time them with ``baseline`` jobs."""
+    if spec.scheme != "detection":
+        raise ValueError(
+            f"kind 'detection' needs the 'detection' scheme's report; "
+            f"got scheme {spec.scheme!r} (use kind 'baseline' to time it)")
+    trace = benchmark_trace(spec.benchmark, spec.scale)
+    result = run_with_detection(
+        trace, spec.config,
+        interrupt_seqs=list(spec.interrupt_seqs) or None)
+    return _run_record(spec, config_key, result)
+
+
+def _fault_record(spec: JobSpec, scheme: ProtectionScheme,
+                  config_key: str) -> CoverageRecord:
+    fault = spec.fault
+    clean = benchmark_trace(spec.benchmark, spec.scale)
+    verdict = scheme.inject(clean, spec.config, fault,
+                            interrupt_seqs=spec.interrupt_seqs)
     return CoverageRecord(
+        scheme=scheme.name,
         benchmark=spec.benchmark,
         scale=spec.scale,
         config_key=config_key,
         site=fault.site.value,
         seq=fault.seq,
         bit=fault.bit,
-        activated=activated,
-        outcome=outcome,
-        detect_latency_us=latency_us,
-        first_error_segment=first_segment,
-        first_error_entry=first_entry,
+        activated=verdict.activated,
+        outcome=verdict.outcome,
+        detect_latency_us=verdict.detect_latency_us,
+        first_error_segment=verdict.first_error_segment,
+        first_error_entry=verdict.first_error_entry,
     )
 
 
-def _recovery_record(spec: JobSpec, config_key: str) -> RecoveryRecord:
-    from repro.recovery.rollback import detect_and_recover
-
+def _recovery_record(spec: JobSpec, scheme: ProtectionScheme,
+                     config_key: str) -> RecoveryRecord:
+    if not scheme.supports_recovery:
+        raise ValueError(
+            f"scheme {scheme.name!r} does not support recovery campaigns")
     fault = spec.fault
-    program = build_benchmark(spec.benchmark, spec.scale)
     clean = benchmark_trace(spec.benchmark, spec.scale)
     injector = FaultInjector([fault])
-    faulty = execute_program(program, fault_injector=injector)
+    faulty = execute_program(clean.program, fault_injector=injector)
     if not injector.activations:
         return RecoveryRecord(
             benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
             site=fault.site.value, seq=fault.seq, bit=fault.bit,
             activated=False, detected=False, rollback_seq=None,
             replayed_instructions=0, recovered=False, state_correct=False,
-            trace_len=len(clean))
-    outcome = detect_and_recover(program, faulty, spec.config)
+            trace_len=len(clean), scheme=scheme.name)
+    outcome = scheme.recover(faulty, spec.config)
     return RecoveryRecord(
         benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
         site=fault.site.value, seq=fault.seq, bit=fault.bit,
@@ -217,38 +238,36 @@ def _recovery_record(spec: JobSpec, config_key: str) -> RecoveryRecord:
         rollback_seq=outcome.rollback_seq,
         replayed_instructions=outcome.replayed_instructions,
         recovered=outcome.recovered, state_correct=outcome.state_correct,
-        trace_len=len(clean))
+        trace_len=len(clean), scheme=scheme.name)
+
+
+#: kind → executor; each executor receives the spec, its resolved scheme
+#: instance, and the config fingerprint.
+_KIND_EXECUTORS = {
+    "baseline": _timing_record,
+    "detection": _detection_record,
+    "fault": _fault_record,
+    "recovery": _recovery_record,
+}
 
 
 def execute_job(spec: JobSpec) -> dict:
     """Execute one job and return its record as a plain dict.
 
     This is the single execution entry point shared by serial runs and
-    pool workers; per-process trace caches in the suite registry keep
-    repeated jobs on the same benchmark cheap within one worker.
+    pool workers; the scheme named by the spec is resolved through the
+    registry here, in whichever process the job lands in.  Per-process
+    trace caches in the suite registry keep repeated jobs on the same
+    benchmark cheap within one worker.
     """
-    config_key = config_fingerprint(spec.config)
-    if spec.kind == "baseline":
-        trace = benchmark_trace(spec.benchmark, spec.scale)
-        core = run_unprotected(trace, spec.config)
-        record = BaselineRecord(
-            benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,
-            cycles=core.cycles, instructions=core.instructions,
-            system_cycles=core.system_cycles)
-    elif spec.kind == "detection":
-        trace = benchmark_trace(spec.benchmark, spec.scale)
-        result = run_with_detection(
-            trace, spec.config,
-            interrupt_seqs=list(spec.interrupt_seqs) or None)
-        record = _run_record(spec, config_key, result)
-    elif spec.kind == "fault":
-        record = _fault_record(spec, config_key)
-    elif spec.kind == "recovery":
-        record = _recovery_record(spec, config_key)
-    else:
+    try:
+        executor = _KIND_EXECUTORS[spec.kind]
+    except KeyError:
         raise ValueError(f"unknown job kind {spec.kind!r}; "
-                         f"one of {JOB_KINDS} expected")
-    return record_to_dict(record)
+                         f"one of {JOB_KINDS} expected") from None
+    scheme = get_scheme(spec.scheme)
+    config_key = config_fingerprint(spec.config)
+    return record_to_dict(executor(spec, scheme, config_key))
 
 
 def _execute_shard(items: list[tuple[int, JobSpec]]) -> list[tuple[int, dict]]:
@@ -332,17 +351,40 @@ class CampaignGrid:
 def detection_grid(benchmarks: Sequence[str],
                    configs: Sequence[SystemConfig],
                    scale: str = "small",
-                   include_baselines: bool = True) -> CampaignGrid:
+                   include_baselines: bool = True,
+                   scheme: str = "detection") -> CampaignGrid:
     """The figure-sweep grid: every benchmark under every configuration,
-    plus the unprotected baselines the slowdown normalisation needs."""
+    plus the unprotected baselines the slowdown normalisation needs.
+
+    For the paper scheme the per-config cells are rich ``detection``
+    runs; any other registered scheme gets uniform ``baseline`` timing
+    jobs under the same configurations.
+    """
     jobs: list[JobSpec] = []
     if include_baselines:
         base_cfg = configs[0] if configs else default_config()
         jobs.extend(JobSpec("baseline", name, scale, base_cfg)
                     for name in benchmarks)
-    jobs.extend(JobSpec("detection", name, scale, cfg)
+    kind = "detection" if scheme == "detection" else "baseline"
+    jobs.extend(JobSpec(kind, name, scale, cfg, scheme=scheme)
                 for name in benchmarks for cfg in configs)
     return CampaignGrid(tuple(jobs))
+
+
+def scheme_grid(benchmarks: Sequence[str],
+                schemes: Sequence[str] | None = None,
+                scale: str = "small",
+                config: SystemConfig | None = None) -> CampaignGrid:
+    """The cross-scheme comparison grid (Figure 1(d)): one timing job
+    per registered scheme × benchmark, all under the same configuration.
+    ``schemes=None`` sweeps the whole registry."""
+    cfg = config if config is not None else default_config()
+    names = tuple(schemes) if schemes is not None else scheme_names()
+    for scheme in names:
+        get_scheme(scheme)  # unknown names fail at grid build, not in a worker
+    return CampaignGrid(tuple(
+        JobSpec("baseline", bench, scale, cfg, scheme=scheme)
+        for scheme in names for bench in benchmarks))
 
 
 def fault_grid(benchmarks: Sequence[str],
@@ -351,11 +393,16 @@ def fault_grid(benchmarks: Sequence[str],
                scale: str = "small",
                config: SystemConfig | None = None,
                seed: int = 0,
-               kind: str = "fault") -> CampaignGrid:
+               kind: str = "fault",
+               scheme: str = "detection") -> CampaignGrid:
     """A fault-injection grid: ``trials`` jobs per benchmark, cycling
     through ``sites``, with fault positions drawn from a per-benchmark
     deterministic stream (so the grid is a pure function of its
     arguments and caches are stable across invocations).
+
+    The fault stream deliberately ignores ``scheme``: the same seed
+    gives every scheme the identical fault set, so cross-scheme coverage
+    and latency comparisons are apples-to-apples.
 
     Fault positions need each benchmark's dynamic trace length, so grid
     construction performs one functional execution per benchmark in the
@@ -363,6 +410,7 @@ def fault_grid(benchmarks: Sequence[str],
     cheap next to the timing runs, but not free on a fully warm cache.
     """
     cfg = config if config is not None else default_config()
+    get_scheme(scheme)
     jobs = []
     for name in benchmarks:
         clean_len = len(benchmark_trace(name, scale))
@@ -373,7 +421,8 @@ def fault_grid(benchmarks: Sequence[str],
                 site,
                 seq=rng.randrange(10, clean_len - 10),
                 bit=rng.randrange(0, 48))
-            jobs.append(JobSpec(kind, name, scale, cfg, fault=fault))
+            jobs.append(JobSpec(kind, name, scale, cfg, fault=fault,
+                                scheme=scheme))
     return CampaignGrid(tuple(jobs))
 
 
@@ -383,9 +432,18 @@ def recovery_grid(benchmarks: Sequence[str],
                   config: SystemConfig | None = None,
                   seed: int = 0,
                   site: FaultSite = FaultSite.STORE_VALUE,
-                  bit: int = 5) -> CampaignGrid:
-    """Rollback-recovery trials: one late-striking fault per job."""
+                  bit: int = 5,
+                  scheme: str = "detection") -> CampaignGrid:
+    """Rollback-recovery trials: one late-striking fault per job.
+
+    Only schemes with ``supports_recovery`` can run these; the check
+    happens here so an unsupported scheme fails at grid construction
+    rather than deep inside a worker process.
+    """
     cfg = config if config is not None else default_config()
+    if not get_scheme(scheme).supports_recovery:
+        raise ValueError(
+            f"scheme {scheme!r} does not support recovery campaigns")
     jobs = []
     for name in benchmarks:
         clean_len = len(benchmark_trace(name, scale))
@@ -394,7 +452,8 @@ def recovery_grid(benchmarks: Sequence[str],
             fault = TransientFault(
                 site, seq=rng.randrange(clean_len // 4, clean_len - 10),
                 bit=bit)
-            jobs.append(JobSpec("recovery", name, scale, cfg, fault=fault))
+            jobs.append(JobSpec("recovery", name, scale, cfg, fault=fault,
+                                scheme=scheme))
     return CampaignGrid(tuple(jobs))
 
 

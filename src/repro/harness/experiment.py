@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass
 
 from repro.common.config import SystemConfig, default_config
-from repro.common.records import BaselineRecord, RunRecord, RunSummary, \
+from repro.common.records import RunRecord, RunSummary, SchemeRunResult, \
     record_from_dict
 from repro.common.stats import Samples
 from repro.detection.system import DetectionReport
@@ -91,7 +91,7 @@ class ExperimentRunner:
         self.default_cfg = config if config is not None else default_config()
         self.engine = engine if engine is not None else CampaignEngine(
             workers=workers, cache_dir=cache_dir)
-        self._baselines: dict[str, BaselineRecord] = {}
+        self._baselines: dict[str, SchemeRunResult] = {}
         self._runs: dict[tuple[str, SystemConfig], DetectionRunView] = {}
 
     # -- job plumbing ---------------------------------------------------------
@@ -107,8 +107,9 @@ class ExperimentRunner:
 
     # -- primitives -----------------------------------------------------------
 
-    def baseline(self, benchmark: str) -> BaselineRecord:
-        """Unprotected main-core timing (cached)."""
+    def baseline(self, benchmark: str) -> SchemeRunResult:
+        """Unprotected main-core timing (cached): the ``unprotected``
+        scheme's record, whose ``cycles`` is the normalisation base."""
         if benchmark not in self._baselines:
             self._baselines[benchmark] = self._submit_one(
                 self._baseline_spec(benchmark))

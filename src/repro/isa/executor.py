@@ -18,7 +18,7 @@ hardware performs are bit-exact, as they would be in silicon.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ExecutionError

@@ -1,0 +1,58 @@
+"""Pluggable protection schemes behind one registry.
+
+Importing this package registers the four paper schemes:
+
+========== ============================================= ============
+name       what it models                                paper
+========== ============================================= ============
+unprotected bare out-of-order main core                  Figure 1(a)
+lockstep    dual-core lockstep with a commit comparator  Figure 1(b)
+rmt         redundant SMT thread on the main core        Figure 1(c)
+detection   heterogeneous parallel error detection       Figure 1(d)
+========== ============================================= ============
+
+Consumers address schemes only by name through :func:`get_scheme`;
+campaign job specs carry the name into worker processes and cache keys.
+"""
+
+from repro.schemes.base import (
+    FaultVerdict,
+    ProtectionScheme,
+    SchemeSummary,
+    SchemeTiming,
+    architecturally_masked,
+)
+from repro.schemes.registry import (
+    get_scheme,
+    iter_schemes,
+    register_scheme,
+    scheme_names,
+)
+
+# importing the modules is what registers the schemes; the order here is
+# the registry (and Figure 1) presentation order
+from repro.schemes import unprotected as _unprotected
+from repro.schemes import lockstep as _lockstep
+from repro.schemes import rmt as _rmt
+from repro.schemes import detection as _detection
+
+DetectionScheme = _detection.ParallelDetectionScheme
+LockstepScheme = _lockstep.LockstepScheme
+RMTScheme = _rmt.RMTScheme
+UnprotectedScheme = _unprotected.UnprotectedScheme
+
+__all__ = [
+    "DetectionScheme",
+    "FaultVerdict",
+    "LockstepScheme",
+    "ProtectionScheme",
+    "RMTScheme",
+    "SchemeSummary",
+    "SchemeTiming",
+    "UnprotectedScheme",
+    "architecturally_masked",
+    "get_scheme",
+    "iter_schemes",
+    "register_scheme",
+    "scheme_names",
+]

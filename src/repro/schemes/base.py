@@ -1,0 +1,149 @@
+"""The unified protection-scheme interface (paper Figure 1, §VII).
+
+The paper's argument is a *comparison between protection schemes*:
+unprotected, dual-core lockstep, redundant multithreading, and its own
+heterogeneous parallel-detection design.  Every scheme here implements
+one :class:`ProtectionScheme` interface —
+
+* :meth:`~ProtectionScheme.time`: a fault-free timing run of a committed
+  trace, returning a :class:`SchemeTiming` (protected and unprotected
+  cycle counts plus the scheme's characteristic detection latency);
+* :meth:`~ProtectionScheme.inject`: one fault-injection trial, returning
+  a :class:`FaultVerdict` classified into the §IV-I coverage buckets;
+* :meth:`~ProtectionScheme.overheads`: the Figure 1(d) comparison row
+  (:class:`SchemeSummary`), derived from a *measured* timing run rather
+  than hand-assembled constants;
+* capability flags (``detects_faults``, ``covers_hard_faults``,
+  ``supports_recovery``) that campaign grids and the CLI use to decide
+  what a scheme can be asked to do.
+
+Schemes register under a stable name via
+:func:`repro.schemes.registry.register_scheme`; everything downstream
+(campaign engine, figure harness, CLI) addresses them only through the
+registry, so adding a scheme is one module with one decorator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.detection.faults import TransientFault
+from repro.isa.executor import Trace
+
+#: Classification buckets shared by every scheme's ``inject`` verdict
+#: (mirrors ``repro.common.records.FAULT_OUTCOMES``).
+VERDICT_OUTCOMES = ("not_activated", "masked", "detected", "escaped")
+
+
+@dataclass(frozen=True)
+class SchemeTiming:
+    """A fault-free timing run of one trace under one scheme."""
+
+    #: cycles the protected run took on the main core
+    cycles: int
+    #: cycles the same trace takes on a bare, unprotected main core
+    base_cycles: int
+    instructions: int
+    #: cycle the whole system finished (checks drained, comparator idle)
+    system_cycles: int
+    #: the scheme's characteristic error-detection latency for this run,
+    #: in nanoseconds (None = the scheme detects nothing)
+    detection_latency_ns: float | None
+
+    @property
+    def slowdown(self) -> float:
+        return self.cycles / self.base_cycles if self.base_cycles else 0.0
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """One fault-injection trial, classified by a scheme."""
+
+    #: the fault actually changed an architectural value
+    activated: bool
+    #: one of :data:`VERDICT_OUTCOMES`
+    outcome: str
+    #: fault-to-detection latency in microseconds (detected trials only)
+    detect_latency_us: float | None = None
+    #: position of the first failing check, for schemes that localise
+    #: errors (the paper scheme's segment/entry indices)
+    first_error_segment: int | None = None
+    first_error_entry: int | None = None
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """Qualitative + quantitative comparison row (paper Figure 1(d))."""
+
+    name: str
+    slowdown: float
+    area_overhead: float
+    energy_overhead: float
+    #: typical error-detection latency in nanoseconds (None = no detection)
+    detection_latency_ns: float | None
+
+
+def architecturally_masked(clean: Trace, faulty: Trace) -> bool:
+    """True when a fault left no architecturally visible difference."""
+    if len(clean) != len(faulty):
+        return False
+    if clean.final_xregs != faulty.final_xregs:
+        return False
+    if clean.final_fregs != faulty.final_fregs:
+        return False
+    clean_mem = {a: v for a, v in clean.memory.items() if v}
+    faulty_mem = {a: v for a, v in faulty.memory.items() if v}
+    return clean_mem == faulty_mem
+
+
+class ProtectionScheme(abc.ABC):
+    """One error-detection scheme, pluggable into campaigns and figures.
+
+    Subclasses set the class attributes and implement the three methods;
+    instances are stateless, so one shared instance per registry entry
+    serves every worker process.
+    """
+
+    #: registry name (set by :func:`~repro.schemes.registry.register_scheme`)
+    name: str = ""
+    #: one-line description for ``repro list --schemes``
+    description: str = ""
+    #: the scheme can detect errors at all
+    detects_faults: bool = False
+    #: detection still works when the fault is permanent (spatial
+    #: redundancy: the redundant computation runs on different hardware)
+    covers_hard_faults: bool = False
+    #: the scheme can drive detect→rollback→re-execute recovery
+    supports_recovery: bool = False
+
+    @abc.abstractmethod
+    def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
+        """Time ``trace`` under this scheme (fault-free)."""
+
+    @abc.abstractmethod
+    def inject(self, trace: Trace, config: SystemConfig,
+               fault: TransientFault,
+               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
+        """Inject ``fault`` into a run of ``trace``'s program and classify
+        the outcome.  ``trace`` is the *clean* reference execution."""
+
+    @abc.abstractmethod
+    def overheads(self, timing: SchemeTiming,
+                  config: SystemConfig) -> SchemeSummary:
+        """The Figure 1(d) row, derived from a measured ``timing`` run."""
+
+    def recover(self, faulty: Trace, config: SystemConfig):
+        """Detect→rollback→re-execute on a faulty trace (schemes with
+        ``supports_recovery`` only)."""
+        raise ValueError(
+            f"scheme {self.name!r} does not support recovery campaigns")
+
+    def capabilities(self) -> dict[str, bool]:
+        """The capability matrix row, keyed by flag name."""
+        return {
+            "detects_faults": self.detects_faults,
+            "covers_hard_faults": self.covers_hard_faults,
+            "supports_recovery": self.supports_recovery,
+        }

@@ -1,0 +1,105 @@
+"""The paper's heterogeneous parallel-detection scheme, as a plugin.
+
+Wraps :mod:`repro.detection.system` (timing and fault classification)
+and :mod:`repro.recovery.rollback` (the recovery extension) behind the
+:class:`~repro.schemes.base.ProtectionScheme` interface.  This is the
+only scheme whose ``inject`` runs the full detection pipeline — errors
+surface through checker replay, never an oracle — and the only one with
+``supports_recovery``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import area_model
+from repro.analysis.power import energy_overhead_per_run, power_model
+from repro.common.config import SystemConfig
+from repro.common.time import ticks_to_us
+from repro.detection.faults import (
+    FaultInjector,
+    FaultSite,
+    TransientFault,
+    system_faults,
+)
+from repro.detection.system import run_unprotected, run_with_detection
+from repro.isa.executor import Trace, execute_program
+from repro.schemes.base import (
+    FaultVerdict,
+    ProtectionScheme,
+    SchemeSummary,
+    SchemeTiming,
+    architecturally_masked,
+)
+from repro.schemes.registry import register_scheme
+
+
+@register_scheme("detection")
+class ParallelDetectionScheme(ProtectionScheme):
+    """Heterogeneous parallel error detection (the paper's design)."""
+
+    description = "committed load/store log replayed on small checker cores"
+    detects_faults = True
+    covers_hard_faults = True
+    supports_recovery = True
+
+    def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
+        # self-contained on purpose: a scheme-timing job is a pure
+        # function of (trace, config), so it re-runs the unprotected
+        # baseline rather than reaching into other jobs' cache entries —
+        # cross-scheme sweeps stay correct under any worker/shard split
+        base = run_unprotected(trace, config)
+        result = run_with_detection(trace, config)
+        return SchemeTiming(
+            cycles=result.main_cycles,
+            base_cycles=base.cycles,
+            instructions=result.core.instructions,
+            system_cycles=result.system_cycles,
+            detection_latency_ns=result.report.mean_delay_ns(),
+        )
+
+    def inject(self, trace: Trace, config: SystemConfig,
+               fault: TransientFault,
+               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
+        injector = FaultInjector([fault])
+        faulty = execute_program(trace.program, fault_injector=injector)
+        detection_side = fault.site in (FaultSite.CHECKPOINT,
+                                        FaultSite.CHECKER)
+        activated = bool(injector.activations) or detection_side
+        if not activated:
+            return FaultVerdict(activated=False, outcome="not_activated")
+
+        side = system_faults([fault])
+        run = run_with_detection(
+            faulty, config,
+            checkpoint_faults=side["checkpoint"] or None,
+            checker_faults=side["checker"] or None,
+            interrupt_seqs=list(interrupt_seqs) or None)
+        if run.report.detected:
+            event = run.report.first_event
+            segment, entry = run.report.first_error_position()
+            return FaultVerdict(
+                activated=True, outcome="detected",
+                detect_latency_us=ticks_to_us(
+                    event.detect_tick - event.segment_close_tick),
+                first_error_segment=segment, first_error_entry=entry)
+        if architecturally_masked(trace, faulty):
+            return FaultVerdict(activated=True, outcome="masked")
+        return FaultVerdict(activated=True, outcome="escaped")
+
+    def overheads(self, timing: SchemeTiming,
+                  config: SystemConfig) -> SchemeSummary:
+        slowdown = timing.slowdown
+        area = area_model(config)
+        power = power_model(config)
+        return SchemeSummary(
+            name=self.name,
+            slowdown=slowdown,
+            area_overhead=area.overhead_vs_core,
+            energy_overhead=energy_overhead_per_run(slowdown, power.overhead),
+            detection_latency_ns=timing.detection_latency_ns,
+        )
+
+    def recover(self, faulty: Trace, config: SystemConfig):
+        """Detect→rollback→re-execute, returning a
+        :class:`repro.recovery.rollback.RecoveryOutcome`."""
+        from repro.recovery.rollback import detect_and_recover
+        return detect_and_recover(faulty.program, faulty, config)

@@ -1,0 +1,55 @@
+"""The protection-scheme registry.
+
+One flat name → instance table, populated at import time by the
+``@register_scheme`` decorator on each scheme class.  Campaign workers
+re-import :mod:`repro.schemes` when they unpickle job specs, so the
+registry is identically populated in every process — a scheme name is as
+stable a cache-key component as a benchmark name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.schemes.base import ProtectionScheme
+
+_REGISTRY: dict[str, ProtectionScheme] = {}
+
+
+def register_scheme(name: str) -> Callable[[type], type]:
+    """Class decorator: instantiate and register a scheme under ``name``.
+
+    The decorated class gets its ``name`` attribute set, so the registry
+    key and the scheme's self-reported name can never diverge.
+    """
+    def decorator(cls: type) -> type:
+        if not issubclass(cls, ProtectionScheme):
+            raise TypeError(
+                f"{cls.__name__} must subclass ProtectionScheme")
+        if name in _REGISTRY and type(_REGISTRY[name]) is not cls:
+            raise ValueError(f"scheme name {name!r} already registered "
+                             f"by {type(_REGISTRY[name]).__name__}")
+        cls.name = name
+        _REGISTRY[name] = cls()
+        return cls
+    return decorator
+
+
+def get_scheme(name: str) -> ProtectionScheme:
+    """Look up a registered scheme, or raise ``ValueError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; registered schemes: "
+            f"{', '.join(scheme_names())}") from None
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def iter_schemes() -> Iterator[ProtectionScheme]:
+    """Registered scheme instances, in registration order."""
+    return iter(_REGISTRY.values())

@@ -1,11 +1,8 @@
 """Tests for the comparison baselines."""
 
-import pytest
-
 from repro.baselines.lockstep import run_lockstep
 from repro.baselines.rmt import rmt_config, run_rmt
 from repro.baselines.unprotected import run_baseline
-from repro.common.config import default_config
 
 
 class TestLockstep:

@@ -8,7 +8,6 @@ from repro.common.config import (
     DRAMConfig,
     LOG_ENTRY_BYTES,
     MainCoreConfig,
-    SystemConfig,
     default_config,
     table1_rows,
 )

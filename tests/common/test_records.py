@@ -10,6 +10,7 @@ from repro.common.records import (
     RecoveryRecord,
     RunRecord,
     RunSummary,
+    SchemeRunResult,
     canonical_json,
     record_from_dict,
     record_from_json,
@@ -71,6 +72,35 @@ class TestRoundTrips:
     def test_run_summary(self):
         summary = RunSummary("stream", 1.02, 400.0, 9000.0, 1000, 1020)
         assert record_from_dict(record_to_dict(summary)) == summary
+
+    def test_scheme_run_result(self):
+        record = SchemeRunResult(
+            scheme="lockstep", benchmark="stream", scale="small",
+            config_key="ab" * 32, cycles=1003, base_cycles=1000,
+            instructions=900, system_cycles=1003, slowdown=1.003,
+            detection_latency_ns=0.94, area_overhead=1.0,
+            energy_overhead=1.0, detects_faults=True,
+            covers_hard_faults=True, supports_recovery=False)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_scheme_run_result_none_latency(self):
+        record = SchemeRunResult(
+            scheme="unprotected", benchmark="stream", scale="small",
+            config_key="cd" * 32, cycles=1000, base_cycles=1000,
+            instructions=900, system_cycles=1000, slowdown=1.0,
+            detection_latency_ns=None, area_overhead=0.0,
+            energy_overhead=0.0, detects_faults=False,
+            covers_hard_faults=False, supports_recovery=False)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_coverage_record_carries_scheme(self):
+        record = CoverageRecord(
+            benchmark="stream", scale="small", config_key="ef" * 32,
+            site="branch", seq=44, bit=0, activated=True,
+            outcome="detected", detect_latency_us=0.01,
+            first_error_segment=None, first_error_entry=None,
+            scheme="lockstep")
+        assert record_from_json(record_to_json(record)).scheme == "lockstep"
 
     def test_unknown_field_rejected(self):
         payload = record_to_dict(make_run_record())

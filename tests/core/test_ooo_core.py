@@ -1,7 +1,5 @@
 """Behavioural tests for the out-of-order core timing model."""
 
-import pytest
-
 from repro.common.config import default_config
 from repro.core.ooo_core import CommitHook, OoOCore
 from repro.isa.executor import execute_program

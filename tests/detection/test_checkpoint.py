@@ -1,7 +1,6 @@
 """Tests for register checkpoints and the architectural state tracker."""
 
-from repro.detection.checkpoint import ArchStateTracker, RegisterCheckpoint
-from repro.isa.executor import execute_program
+from repro.detection.checkpoint import ArchStateTracker
 from repro.isa.instructions import NUM_FP_REGS, NUM_INT_REGS
 
 

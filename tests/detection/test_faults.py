@@ -11,7 +11,7 @@ from repro.detection.faults import (
     TransientFault,
     system_faults,
 )
-from repro.isa.executor import LOAD, STORE, execute_program
+from repro.isa.executor import LOAD, execute_program
 from repro.isa.instructions import Opcode
 
 from tests.conftest import build_rmw_loop

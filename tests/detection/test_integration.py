@@ -17,7 +17,7 @@ from repro.detection.faults import (
     TransientFault,
 )
 from repro.detection.system import run_with_detection
-from repro.isa.executor import LOAD, STORE, Trace, execute_program
+from repro.isa.executor import Trace, execute_program
 from repro.isa.instructions import Opcode
 
 from tests.conftest import build_rmw_loop

@@ -1,13 +1,6 @@
 """System-level tests for the detection co-simulation."""
 
-import pytest
-
-from repro.common.config import default_config
-from repro.detection.system import (
-    ParallelErrorDetection,
-    run_unprotected,
-    run_with_detection,
-)
+from repro.detection.system import run_unprotected, run_with_detection
 from repro.isa.executor import execute_program
 
 from tests.conftest import build_alu_loop, build_rmw_loop

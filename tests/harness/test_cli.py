@@ -18,6 +18,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             make_parser().parse_args(["bench", "stream", "--scale", "huge"])
 
+    def test_campaign_kind_choices(self):
+        for kind in ("baseline", "detection", "fault", "recovery"):
+            args = make_parser().parse_args(["campaign", "--kind", kind])
+            assert args.kind == kind
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["campaign", "--kind", "mystery"])
+
+    def test_campaign_scheme_choices(self):
+        for scheme in ("unprotected", "lockstep", "rmt", "detection"):
+            args = make_parser().parse_args(
+                ["campaign", "--scheme", scheme])
+            assert args.scheme == scheme
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["campaign", "--scheme", "mystery"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -44,6 +59,46 @@ class TestCommands:
                      "bodytrack"]) == 0
         out = capsys.readouterr().out
         assert "activated" in out
+
+    def test_list_schemes(self, capsys):
+        """Acceptance: all four registered schemes enumerate with flags."""
+        assert main(["list", "--schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("unprotected", "lockstep", "rmt", "detection"):
+            assert name in out
+        assert "hard faults" in out and "recovery" in out
+
+    def test_campaign_baseline_kind_any_scheme(self, capsys):
+        assert main(["campaign", "--kind", "baseline", "--scheme",
+                     "lockstep", "--benchmark", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline campaign [lockstep]" in out
+        assert "mean slowdown" in out
+
+    def test_campaign_fault_cross_scheme(self, capsys):
+        assert main(["campaign", "--kind", "fault", "--scheme", "rmt",
+                     "--benchmark", "stream", "--trials", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign [rmt]" in out and "activated" in out
+
+    def test_campaign_recovery_rejects_non_recovery_scheme(self, capsys):
+        assert main(["campaign", "--kind", "recovery", "--scheme", "rmt",
+                     "--benchmark", "stream", "--trials", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "does not support recovery" in err
+
+    def test_campaign_json_flags_escapes_in_exit_code(self, capsys):
+        """--json must report SDC escapes the same way plain mode does:
+        a nonzero exit code, not just a field in the payload."""
+        import json
+        argv = ["campaign", "--kind", "fault", "--scheme", "unprotected",
+                "--benchmark", "stream", "--trials", "6", "--json"]
+        code = main(argv)
+        payload = json.loads(capsys.readouterr().out)
+        escaped = payload["summary"]["outcomes"].get("escaped", 0)
+        assert escaped > 0, "expected the unprotected control to leak SDCs"
+        assert code == 1
+        assert main(argv[:-1]) == 1  # plain mode agrees
 
     def test_suite(self, capsys):
         assert main(["suite", "--scale", "small"]) == 0

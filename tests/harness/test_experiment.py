@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import default_config
 from repro.harness.experiment import ExperimentRunner, bench_scale
 
 

@@ -51,6 +51,18 @@ class TestFigures:
         text, data = fig1_comparison(runner, benchmarks=["stream"])
         assert set(data) == {"lockstep", "rmt", "ours"}
         assert data["lockstep"]["area"] == 1.0
+        # the registry sweep measures detection latency per scheme:
+        # lockstep in cycles, the paper scheme orders of magnitude later
+        assert 0 < data["lockstep"]["detect_latency_ns"] \
+            < data["ours"]["detect_latency_ns"]
+
+    def test_fig1_includes_unprotected_when_asked(self, runner):
+        text, data = fig1_comparison(
+            runner, benchmarks=["stream"],
+            schemes=("unprotected", "lockstep", "rmt", "detection"))
+        assert set(data) == {"unprotected", "lockstep", "rmt", "ours"}
+        assert data["unprotected"]["area"] == 0.0
+        assert data["unprotected"]["detect_latency_ns"] is None
 
     def test_area_power_sections(self):
         a_text, a_data = sec6b_area()

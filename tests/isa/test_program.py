@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import AssemblyError
 from repro.isa.instructions import Opcode
 from repro.isa.memory_image import float_to_bits
-from repro.isa.program import Program, ProgramBuilder, signature
+from repro.isa.program import ProgramBuilder, signature
 
 
 class TestBuilder:

@@ -7,8 +7,6 @@ against the values the simulated program left in memory.
 """
 
 import numpy as np
-import pytest
-
 from repro.isa.executor import execute_program
 from repro.isa.memory_image import bits_to_float
 from repro.workloads import facesim, freqmine, randacc, stream
