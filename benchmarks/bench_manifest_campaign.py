@@ -1,0 +1,44 @@
+"""Manifest-orchestrated fault campaign: the multi-worker scale path.
+
+The other benches drive the campaign engine directly inside one process
+pool.  This one exercises the orchestration layer the way a multi-host
+run does: the grid is materialised as an on-disk manifest
+(:mod:`repro.harness.manifest`), two independent worker processes lease
+and execute jobs work-stealing style
+(:func:`~repro.harness.orchestrator.run_campaign`), and the merged
+result is checked byte-identical to a serial engine run of the same
+grid — the resumability/idempotence contract the orchestrator promises.
+"""
+
+from repro.harness.campaign import CampaignEngine, fault_grid
+from repro.harness.manifest import CampaignManifest
+from repro.harness.orchestrator import manifest_status, run_campaign
+
+
+def run_orchestrated(tmp_dir, trials: int = 12):
+    grid = fault_grid(["bodytrack"], trials=trials, scale="small", seed=0)
+    serial_json = CampaignEngine(workers=1).run(grid).records_json()
+    manifest = CampaignManifest.create(
+        tmp_dir, grid, kind="fault", scheme="detection",
+        scale="small", benchmarks=["bodytrack"])
+    result, _stats = run_campaign(manifest, processes=2)
+    return manifest_status(manifest), result.records_json(), serial_json
+
+
+def test_manifest_campaign(benchmark, emit, strict, tmp_path):
+    status, merged_json, serial_json = benchmark.pedantic(
+        run_orchestrated, args=(tmp_path / "manifest",),
+        rounds=1, iterations=1)
+    text = (
+        "Manifest-orchestrated campaign (bodytrack, 2 worker processes)\n\n"
+        f"  campaign:   {status['campaign_id'][:12]}…\n"
+        f"  jobs:       {status['jobs']} unique\n"
+        f"  done:       {status['states']['done']}\n"
+        f"  failed:     {status['states']['failed']}\n"
+        f"  merged records byte-identical to serial run: "
+        f"{merged_json == serial_json}"
+    )
+    emit("manifest_campaign", text)
+    assert status["complete"]
+    assert status["states"]["failed"] == 0
+    assert merged_json == serial_json

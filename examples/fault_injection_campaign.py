@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Automotive-style fault-injection campaign, run through the campaign
-engine.
+"""Automotive-style fault-injection campaign, orchestrated through an
+on-disk manifest.
 
 Safety standards such as ISO 26262 (ASIL-C/D) require quantified evidence
 of diagnostic coverage.  This example builds a declarative campaign grid
 over a PARSEC-style workload — transient single-bit faults at every
-architecturally visible site — and hands it to the parallel
-:class:`~repro.harness.campaign.CampaignEngine`, plus one permanent
-(hard) functional-unit fault run directly.  It reports
+architecturally visible site — materialises it as a
+:class:`~repro.harness.manifest.CampaignManifest`, and drives it with
+work-stealing worker processes (:func:`~repro.harness.orchestrator.run_campaign`),
+plus one permanent (hard) functional-unit fault run directly.  It reports
 
 * coverage: detected / (activated − architecturally masked),
 * detection latency: segment-close-to-check, the figure an automotive
@@ -15,8 +16,12 @@ architecturally visible site — and hands it to the parallel
   typically milliseconds — the paper argues its µs-scale delays fit
   comfortably).
 
-Re-runs are incremental: results land in an on-disk cache, so growing
-the campaign only executes the new trials.
+The manifest makes the campaign resumable and shareable: kill this
+script mid-run and re-running it picks up exactly where it stopped; run
+``python -m repro campaign-worker --manifest <dir>`` (the script prints
+the directory) in other terminals — or on other hosts sharing it — and
+they steal jobs from the same pool; ``python -m repro campaign-status
+--manifest <dir>`` shows live progress.
 
 Run:  python examples/fault_injection_campaign.py [trials-per-site] [workers]
 """
@@ -25,7 +30,9 @@ import sys
 
 from repro import FaultInjector, FaultSite, HardFault, default_config, \
     execute_program, run_with_detection
-from repro.harness.campaign import CAMPAIGN_SITES, CampaignEngine, fault_grid
+from repro.harness.campaign import CAMPAIGN_SITES, fault_grid
+from repro.harness.manifest import CampaignManifest, campaign_id
+from repro.harness.orchestrator import manifest_status, run_campaign
 from repro.isa import Opcode
 from repro.workloads.suite import build_benchmark
 
@@ -35,7 +42,7 @@ SITES = CAMPAIGN_SITES + (FaultSite.PC,)
 
 def main() -> None:
     trials = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
 
     program = build_benchmark("bodytrack", "small")
     grid = fault_grid(["bodytrack"], trials=trials * len(SITES),
@@ -43,11 +50,19 @@ def main() -> None:
     print("workload: bodytrack")
     print(f"campaign: {len(grid)} jobs "
           f"({trials} trials x {len(SITES)} transient sites) "
-          f"+ 1 hard fault, {workers} worker(s)\n")
+          f"+ 1 hard fault, {workers} worker process(es)\n")
 
-    engine = CampaignEngine(workers=workers,
-                            cache_dir=".cache/example-campaign")
-    result = engine.run(grid)
+    # one directory per campaign identity: a different trial count is a
+    # different grid, and manifests refuse to mix campaigns
+    manifest_dir = (".cache/example-manifest/"
+                    f"{campaign_id(spec.key() for spec in grid)[:12]}")
+    manifest = CampaignManifest.create(
+        manifest_dir, grid, kind="fault", scheme="detection",
+        scale="small", benchmarks=["bodytrack"])
+    print(f"manifest: {manifest_dir}  (join with: python -m repro "
+          f"campaign-worker --manifest {manifest_dir})\n")
+    result, _stats = run_campaign(manifest, processes=workers)
+    status = manifest_status(manifest)
     records = result.typed_records()
 
     header = f"{'site':<14}{'activated':>10}{'detected':>10}" \
@@ -84,7 +99,10 @@ def main() -> None:
 
     visible = totals["activated"] - totals["masked"]
     coverage = totals["detected"] / visible if visible else 1.0
-    print(f"\n{result.executed} jobs executed, {result.cached} from cache")
+    print(f"\nmanifest {status['campaign_id'][:12]}…: "
+          f"{status['states']['done']}/{status['jobs']} jobs done "
+          f"({status['states']['failed']} failed) — "
+          f"re-running this script replays from the cache")
     print(f"coverage of architecturally visible faults: "
           f"{100 * coverage:.1f}%  "
           f"({totals['detected']}/{visible}; {totals['masked']} masked, "

@@ -9,11 +9,21 @@ Commands:
     underlying runs through the campaign engine.
 ``campaign [--kind baseline|detection|fault|recovery] [--scheme NAME]
 [--benchmark NAMES] [--trials N] [--workers N] [--cache-dir DIR]
-[--shard K/N] [--json]``
+[--shard K/N] [--manifest DIR] [--json]``
     Run a campaign grid through the parallel engine under any registered
     protection scheme (``unprotected``, ``lockstep``, ``rmt``,
     ``detection``).  Identical grids are incremental: a warm cache
-    directory replays every job with zero re-executions.
+    directory replays every job with zero re-executions.  With
+    ``--manifest DIR`` the grid is materialised as an on-disk manifest
+    and driven by work-stealing workers instead of static sharding —
+    other hosts can join the same run with ``campaign-worker``.
+``campaign-worker --manifest DIR [--lease-ttl S] [--batch N]``
+    Join an existing manifest as one work-stealing worker: lease pending
+    jobs, execute them, write results into the shared cache, exit when
+    nothing is leasable.  Safe to run any number of these concurrently.
+``campaign-status --manifest DIR [--json]``
+    Progress of a manifest campaign: per-state counts, per-scheme and
+    per-kind progress, failure summaries.
 ``bench NAME [--scale small|default]``
     Run one Table II benchmark under detection and print its summary.
 ``list [--schemes]``
@@ -77,70 +87,31 @@ def _parse_shard(text: str) -> tuple[int, int]:
     return index, count
 
 
-def _timing_summary(result, names: list[str]) -> dict:
-    """Aggregate ``baseline``/``detection``-kind records (no outcomes)."""
-    slowdowns, latencies = [], []
-    for record in result.records:
-        if record["record_type"] == "SchemeRunResult":
-            slowdowns.append(record["slowdown"])
-            if record["detection_latency_ns"] is not None:
-                latencies.append(record["detection_latency_ns"])
-        else:  # RunRecord: rich detection run, no baseline to normalise by
-            delays = record["delays_ns"]
-            if delays:
-                latencies.append(sum(delays) / len(delays))
-    return {
-        "benchmarks": names,
-        "jobs": len(result),
-        "executed": result.executed,
-        "cached": result.cached,
-        "mean_slowdown": (
-            sum(slowdowns) / len(slowdowns) if slowdowns else None),
-        "mean_detection_latency_ns": (
-            sum(latencies) / len(latencies) if latencies else None),
-    }
+def _build_grid(args: argparse.Namespace, names: list[str]):
+    """The campaign grid named by the CLI arguments (shared by the
+    engine and manifest paths, so both name identical jobs)."""
+    from repro.common.config import default_config
+    from repro.harness.campaign import (
+        detection_grid, fault_grid, recovery_grid, scheme_grid)
 
-
-def _coverage_summary(result, names: list[str]) -> tuple[dict, int]:
-    """Aggregate ``fault``/``recovery``-kind records; returns the summary
-    and the number of escaped (SDC) trials."""
-    outcomes: dict[str, int] = {}
-    latencies = []
-    for record in result.records:
-        if "outcome" in record:
-            outcome = record["outcome"]
-        elif not record.get("activated"):
-            outcome = "not_activated"
-        else:
-            outcome = ("recovered" if record.get("state_correct")
-                       else "not_recovered")
-        outcomes[outcome] = outcomes.get(outcome, 0) + 1
-        if record.get("detect_latency_us") is not None:
-            latencies.append(record["detect_latency_us"])
-    activated = sum(1 for r in result.records if r.get("activated"))
-    detected = sum(
-        1 for r in result.records
-        if r.get("outcome") == "detected" or r.get("detected"))
-    summary = {
-        "benchmarks": names,
-        "jobs": len(result),
-        "executed": result.executed,
-        "cached": result.cached,
-        "activated": activated,
-        "detected": detected,
-        "outcomes": outcomes,
-        "mean_detect_latency_us": (
-            sum(latencies) / len(latencies) if latencies else None),
-    }
-    return summary, outcomes.get("escaped", 0)
+    if args.kind == "fault":
+        return fault_grid(names, trials=args.trials, scale=args.scale,
+                          seed=args.seed, scheme=args.scheme)
+    if args.kind == "recovery":
+        return recovery_grid(names, trials=args.trials, scale=args.scale,
+                             seed=args.seed, scheme=args.scheme)
+    if args.kind == "baseline":
+        return scheme_grid(names, [args.scheme], scale=args.scale)
+    # detection: the paper scheme's rich fault-free runs
+    return detection_grid(names, [default_config()], scale=args.scale,
+                          include_baselines=False, scheme=args.scheme)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.common.config import default_config
     from repro.common.records import canonical_json
-    from repro.harness.campaign import (
-        CampaignEngine, detection_grid, fault_grid, recovery_grid,
-        scheme_grid)
+    from repro.harness.campaign import CampaignEngine
+    from repro.harness.orchestrator import (
+        manifest_status, run_campaign, summarize_result)
     from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 
     names = (list(BENCHMARK_ORDER) if args.benchmark == "all"
@@ -149,54 +120,97 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.manifest is not None and args.shard is not None:
+        print("--shard is the static fan-out path; a manifest distributes "
+              "work by leases instead (drop one of the two)",
+              file=sys.stderr)
+        return 2
+    if args.manifest is not None and args.cache_dir is not None:
+        print("a manifest campaign always uses <manifest>/cache as its "
+              "shared result store; --cache-dir would be silently ignored "
+              "(drop one of the two)", file=sys.stderr)
+        return 2
+    if args.materialize_only and args.manifest is None:
+        print("--materialize-only needs --manifest DIR (there is nothing "
+              "to materialise otherwise)", file=sys.stderr)
+        return 2
 
     try:
-        if args.kind == "fault":
-            grid = fault_grid(names, trials=args.trials, scale=args.scale,
-                              seed=args.seed, scheme=args.scheme)
-        elif args.kind == "recovery":
-            grid = recovery_grid(names, trials=args.trials, scale=args.scale,
-                                 seed=args.seed, scheme=args.scheme)
-        elif args.kind == "baseline":
-            grid = scheme_grid(names, [args.scheme], scale=args.scale)
-        else:  # detection: the paper scheme's rich fault-free runs
-            grid = detection_grid(names, [default_config()], scale=args.scale,
-                                  include_baselines=False, scheme=args.scheme)
+        grid = _build_grid(args, names)
     except ValueError as error:
         print(f"cannot build {args.kind} grid: {error}", file=sys.stderr)
         return 2
-    if args.shard is not None:
-        index, count = args.shard
-        grid = grid.shard(index, count)
 
-    engine = CampaignEngine(workers=args.workers, cache_dir=args.cache_dir)
-    result = engine.run(grid)
-
-    timing_kind = args.kind in ("baseline", "detection")
-    escaped = 0
-    if timing_kind:
-        summary = _timing_summary(result, names)
+    status = None
+    if args.manifest is not None:
+        from repro.harness.manifest import CampaignManifest, ManifestError
+        try:
+            manifest = CampaignManifest.create(
+                args.manifest, grid, kind=args.kind, scheme=args.scheme,
+                scale=args.scale, benchmarks=names)
+        except ManifestError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.materialize_only:
+            status = manifest_status(manifest)
+            if args.json:
+                print(canonical_json(status))
+            else:
+                print(f"manifest {status['campaign_id'][:12]}… materialised "
+                      f"at {args.manifest}: {status['jobs']} unique jobs "
+                      f"({status['states']['done']} already done) — start "
+                      f"workers with: python -m repro campaign-worker "
+                      f"--manifest {args.manifest}")
+            return 0
+        result, stats = run_campaign(
+            manifest, processes=args.workers, lease_ttl=args.lease_ttl)
+        status = manifest_status(manifest)
+        # worker-side progress (parent + children aggregated): the merge
+        # pass itself is a cache replay and executes nothing
+        status["executed_this_run"] = stats.executed
     else:
-        summary, escaped = _coverage_summary(result, names)
-    summary = {"kind": args.kind, "scheme": args.scheme, **summary}
+        if args.shard is not None:
+            index, count = args.shard
+            grid = grid.shard(index, count)
+        engine = CampaignEngine(workers=args.workers,
+                                cache_dir=args.cache_dir)
+        result = engine.run(grid)
+
+    # one aggregation pass feeds the JSON and human paths alike
+    aggregated = summarize_result(args.kind, result, names)
+    summary = {"kind": args.kind, "scheme": args.scheme,
+               **aggregated.summary}
+    escaped = aggregated.escaped
+    failed = len(status["failures"]) if status is not None else 0
 
     if args.json:
-        print(canonical_json({"summary": summary,
-                              "records": list(result.records)}))
+        payload = {"summary": summary, "records": list(result.records)}
+        if status is not None:
+            payload["manifest"] = status
+        print(canonical_json(payload))
         # same contract as the human-readable path: escapes are failures
-        return 1 if escaped else 0
+        return 1 if escaped or failed else 0
 
-    print(f"{args.kind} campaign [{args.scheme}] over {', '.join(names)} "
-          f"({args.scale}): {len(result)} jobs, {result.executed} executed, "
-          f"{result.cached} from cache")
-    if timing_kind:
+    if status is not None:
+        print(f"{args.kind} campaign [{args.scheme}] over "
+              f"{', '.join(names)} ({args.scale}): {len(result)} jobs, "
+              f"{status['executed_this_run']} executed by workers this run, "
+              f"{status['states']['done']} of {status['jobs']} unique done")
+        print(f"  manifest: {status['campaign_id'][:12]}… "
+              f"({status['states']['failed']} failed, "
+              f"{status['states']['pending']} pending)")
+    else:
+        print(f"{args.kind} campaign [{args.scheme}] over "
+              f"{', '.join(names)} ({args.scale}): {len(result)} jobs, "
+              f"{result.executed} executed, {result.cached} from cache")
+    if args.kind in ("baseline", "detection"):
         if summary["mean_slowdown"] is not None:
             print(f"  mean slowdown:          "
                   f"{summary['mean_slowdown']:.4f}")
         if summary["mean_detection_latency_ns"] is not None:
             print(f"  mean detection latency: "
                   f"{summary['mean_detection_latency_ns']:.0f} ns")
-        return 0
+        return 1 if failed else 0
     print(f"  activated: {summary['activated']}  "
           f"detected: {summary['detected']} "
           f"({100 * summary['detected'] / max(1, summary['activated']):.1f}% "
@@ -208,8 +222,70 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"{summary['mean_detect_latency_us']:.2f} us")
     if escaped:
         print(f"WARNING: {escaped} fault(s) escaped detection (SDC)!")
-        return 1
-    return 0
+    return 1 if escaped or failed else 0
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.common.records import canonical_json
+    from repro.harness.manifest import CampaignManifest, ManifestError
+    from repro.harness.orchestrator import CampaignWorker
+
+    try:
+        manifest = CampaignManifest.load(args.manifest)
+    except ManifestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.retry_failed:
+        cleared = manifest.clear_failures()
+        if cleared and not args.json:
+            print(f"re-queued {cleared} failed job(s)")
+    worker = CampaignWorker(manifest, worker_id=args.worker_id,
+                            lease_ttl=args.lease_ttl,
+                            batch_size=args.batch)
+    stats = worker.run(max_jobs=args.max_jobs)
+    if args.json:
+        print(canonical_json(stats.as_dict()))
+    else:
+        print(f"worker {stats.worker}: {stats.executed} executed, "
+              f"{stats.skipped} already done, {stats.failed} failed "
+              f"({stats.batches} lease batches)")
+    return 1 if stats.failed else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.common.records import canonical_json
+    from repro.harness.manifest import CampaignManifest, ManifestError
+    from repro.harness.orchestrator import manifest_status
+
+    try:
+        manifest = CampaignManifest.load(args.manifest)
+    except ManifestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    status = manifest_status(manifest)
+    if args.json:
+        print(canonical_json(status))
+        return 1 if status["failures"] else 0
+
+    states = status["states"]
+    print(f"campaign {status['campaign_id'][:12]}… "
+          f"[{status['kind']}/{status['scheme']}] "
+          f"over {', '.join(status['benchmarks'])} ({status['scale']})")
+    print(f"  jobs: {status['jobs']} unique ({status['slots']} slots)  "
+          f"done {states['done']}  pending {states['pending']}  "
+          f"leased {states['leased']}  failed {states['failed']}")
+    for axis, groups in (("scheme", status["by_scheme"]),
+                         ("kind", status["by_kind"])):
+        for label, group in sorted(groups.items()):
+            print(f"  {axis} {label:<12} {group['done']}/{group['jobs']} "
+                  f"done" + (f", {group['failed']} failed"
+                             if group["failed"] else ""))
+    for failure in status["failures"]:
+        print(f"  FAILED {failure['key'][:12]}… "
+              f"(worker {failure['worker']}, attempt {failure['attempt']}): "
+              f"{failure['error']}")
+    print("complete" if status["complete"] else "in progress")
+    return 1 if status["failures"] else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -304,10 +380,49 @@ def make_parser() -> argparse.ArgumentParser:
                         help="content-addressed on-disk result cache")
     p_camp.add_argument("--shard", type=_parse_shard, default=None,
                         metavar="K/N",
-                        help="run only round-robin shard K of N")
+                        help="run only round-robin shard K of N "
+                             "(static fan-out; superseded by --manifest)")
+    p_camp.add_argument("--manifest", default=None, metavar="DIR",
+                        help="materialise the grid as an on-disk manifest "
+                             "and run it with work-stealing workers "
+                             "(resumable; other hosts join with "
+                             "campaign-worker)")
+    p_camp.add_argument("--lease-ttl", type=float, default=300.0,
+                        help="seconds before a crashed worker's leases "
+                             "return to the pending pool")
+    p_camp.add_argument("--materialize-only", action="store_true",
+                        help="with --manifest: write the manifest and "
+                             "exit without executing (workers join it "
+                             "separately)")
     p_camp.add_argument("--json", action="store_true",
                         help="emit canonical JSON (summary + records)")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_worker = sub.add_parser(
+        "campaign-worker",
+        help="join a manifest campaign as one work-stealing worker")
+    p_worker.add_argument("--manifest", required=True, metavar="DIR")
+    p_worker.add_argument("--lease-ttl", type=float, default=300.0,
+                          help="seconds before this worker's leases expire")
+    p_worker.add_argument("--batch", type=int, default=8,
+                          help="jobs leased per work-stealing scan")
+    p_worker.add_argument("--worker-id", default=None,
+                          help="stable identity in lease/failure envelopes "
+                               "(default: host-pid)")
+    p_worker.add_argument("--max-jobs", type=int, default=None,
+                          help="stop after claiming this many jobs")
+    p_worker.add_argument("--retry-failed", action="store_true",
+                          help="re-queue previously failed jobs first")
+    p_worker.add_argument("--json", action="store_true",
+                          help="emit worker stats as canonical JSON")
+    p_worker.set_defaults(func=cmd_campaign_worker)
+
+    p_status = sub.add_parser(
+        "campaign-status", help="progress of a manifest campaign")
+    p_status.add_argument("--manifest", required=True, metavar="DIR")
+    p_status.add_argument("--json", action="store_true",
+                          help="emit the status payload as canonical JSON")
+    p_status.set_defaults(func=cmd_campaign_status)
 
     p_bench = sub.add_parser("bench", help="run one benchmark")
     p_bench.add_argument("name")

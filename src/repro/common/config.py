@@ -273,6 +273,33 @@ def default_config() -> SystemConfig:
     return SystemConfig().validate()
 
 
+def config_from_dict(data: dict) -> SystemConfig:
+    """Rebuild a validated :class:`SystemConfig` from ``asdict()`` output.
+
+    The inverse of :func:`dataclasses.asdict` for the nested config tree:
+    campaign manifests persist each job's full configuration as plain
+    JSON, and worker processes on other hosts reconstruct it from this.
+    Round-trip contract: ``config_from_dict(asdict(cfg)) == cfg``.
+    """
+    memory = data["memory"]
+    checker = dict(data["checker"])
+    checker["l0i"] = CacheConfig(**checker["l0i"])
+    checker["shared_l1i"] = CacheConfig(**checker["shared_l1i"])
+    return SystemConfig(
+        main_core=MainCoreConfig(**data["main_core"]),
+        branch=BranchPredictorConfig(**data["branch"]),
+        memory=MemoryConfig(
+            l1i=CacheConfig(**memory["l1i"]),
+            l1d=CacheConfig(**memory["l1d"]),
+            l2=CacheConfig(**memory["l2"]),
+            dram=DRAMConfig(**memory["dram"]),
+            l2_stride_prefetcher=memory["l2_stride_prefetcher"],
+        ),
+        checker=CheckerConfig(**checker),
+        detection=DetectionConfig(**data["detection"]),
+    ).validate()
+
+
 def table1_rows() -> list[tuple[str, str]]:
     """Render Table I as (parameter, value) rows, for the config bench."""
     cfg = default_config()

@@ -158,10 +158,45 @@ class RecoveryRecord:
     scheme: str = "detection"
 
 
+@dataclass(frozen=True)
+class JobLease:
+    """A worker's exclusive, time-bounded claim on one manifest job.
+
+    Lease envelopes are the only mutable coordination state of a
+    distributed campaign: they are created atomically (``link(2)`` of a
+    fully written temp file) so exactly one worker wins a job, and they
+    carry a wall-clock expiry so a crashed worker's jobs return to the
+    pending pool once ``expires_at`` passes.  Hosts sharing a manifest
+    are expected to have loosely synchronised clocks (NTP-grade skew is
+    far below any sensible TTL).
+    """
+
+    key: str
+    worker: str
+    acquired_at: float
+    expires_at: float
+    #: how many times this job has been leased (1 = first attempt; each
+    #: reap of an expired lease increments it)
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A permanently failed manifest job: the envelope written under
+    ``failed/`` when a worker's execution raised.  Failed jobs leave the
+    pending pool (no retry storm); ``campaign-worker --retry-failed``
+    clears the envelopes to re-queue them."""
+
+    key: str
+    worker: str
+    error: str
+    attempt: int = 1
+
+
 _RECORD_TYPES = {
     cls.__name__: cls
     for cls in (BaselineRecord, RunRecord, CoverageRecord, RecoveryRecord,
-                RunSummary, SchemeRunResult)
+                RunSummary, SchemeRunResult, JobLease, JobFailure)
 }
 
 #: Record fields that round-trip through JSON as lists but are tuples in

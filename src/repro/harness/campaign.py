@@ -20,6 +20,15 @@ tuples — executed through a :class:`CampaignEngine` that
 Everything a job produces is a serialisable record from
 :mod:`repro.common.records`; the full simulation objects never cross a
 process or cache boundary.
+
+Scaling beyond one process pool is the job of the orchestration layer
+above this one: :mod:`repro.harness.manifest` materialises a grid as an
+on-disk manifest and :mod:`repro.harness.orchestrator` lets any number
+of worker processes (on any hosts sharing the directory) lease jobs
+from it — all of them executing through the same :func:`execute_job`
+and writing into the same :class:`RunCache`.  The static
+:meth:`CampaignGrid.shard` round-robin split remains as the manual
+compatibility path for environments without a shared directory.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import uuid
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -79,6 +89,12 @@ def config_fingerprint(config: SystemConfig) -> str:
     """Stable content hash of a full system configuration."""
     payload = canonical_json(asdict(config))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def unique_suffix() -> str:
+    """Collision-proof token for temp/reap file names in directories
+    shared between hosts (pid alone is not unique across hosts)."""
+    return f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 
 @dataclass(frozen=True)
@@ -295,28 +311,41 @@ class RunCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        path = self._path(key)
+    def _load(self, key: str) -> dict | None:
+        """Read and validate one envelope; no hit/miss accounting."""
         try:
-            envelope = json.loads(path.read_text())
+            envelope = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if (not isinstance(envelope, dict)
                 or envelope.get("key") != key
                 or envelope.get("schema") != CACHE_SCHEMA_VERSION
                 or not isinstance(envelope.get("record"), dict)):
+            return None
+        return envelope["record"]
+
+    def get(self, key: str) -> dict | None:
+        record = self._load(key)
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
-        return envelope["record"]
+        return record
+
+    def has(self, key: str) -> bool:
+        """Whether a valid record exists, without perturbing the hit/miss
+        counters — manifest state scans poll doneness far more often than
+        the engine actually consumes records."""
+        return self._load(key) is not None
 
     def put(self, key: str, record: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = canonical_json(
             {"key": key, "schema": CACHE_SCHEMA_VERSION, "record": record})
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # concurrent same-key writers (the documented lease-reap race)
+        # must not trample each other's temp files
+        tmp = path.with_suffix(f".tmp.{unique_suffix()}")
         tmp.write_text(envelope)
         os.replace(tmp, path)
         self.writes += 1
@@ -342,6 +371,12 @@ class CampaignGrid:
         Shards partition the grid: running every shard (on any machine,
         in any order) against a shared cache covers exactly the full
         campaign.
+
+        This is the *static* fan-out compatibility path: every shard
+        must be launched (and relaunched after a crash) by hand, and a
+        slow shard cannot be helped by a fast one.  Manifest-driven
+        campaigns (:mod:`repro.harness.orchestrator`) supersede it with
+        work-stealing leases wherever workers can share a directory.
         """
         if not 0 <= index < count:
             raise ValueError(f"shard index {index} outside 0..{count - 1}")

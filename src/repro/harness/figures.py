@@ -1,14 +1,16 @@
-"""One entry point per paper table/figure (the experiment index of
-DESIGN.md §5).
+"""One entry point per paper table/figure.
 
-Each ``figNN`` function runs the experiment through a shared
-:class:`~repro.harness.experiment.ExperimentRunner` — whose runs are
-campaign jobs, so a runner built with ``workers``/``cache_dir`` (or the
-``figures --workers/--cache-dir`` CLI flags) regenerates figures in
-parallel and incrementally — and returns ``(text, data)``: a paper-style
-plain-text rendering plus the raw series for programmatic checks.  The
-``benchmarks/`` directory wraps these in pytest-benchmark entries;
-EXPERIMENTS.md records paper-vs-measured.
+Each ``figNN`` function runs its experiment through a shared
+:class:`~repro.harness.experiment.ExperimentRunner`, whose runs are
+campaign jobs dispatched through the protection-scheme registry — so a
+runner built with ``workers``/``cache_dir`` (or the ``figures
+--workers/--cache-dir`` CLI flags) regenerates figures in parallel and
+incrementally, and a cross-scheme figure like Figure 1(d) is a measured
+registry sweep rather than hand-assembled constants.  Every entry point
+returns ``(text, data)``: a paper-style plain-text rendering plus the
+raw series for programmatic checks.  The ``benchmarks/`` directory
+wraps these in pytest-benchmark entries (README: "How figures map to
+campaign grids" lists the figure → grid → CLI correspondence).
 """
 
 from __future__ import annotations

@@ -1,0 +1,423 @@
+"""On-disk campaign manifests: the shared ground truth of a distributed run.
+
+A manifest materialises one campaign grid as a directory that any number
+of worker processes — on one host or on many hosts sharing the directory
+(NFS, a synced volume, a CI workspace) — can cooperate on:
+
+::
+
+    <dir>/manifest.json   header + every job slot (key + canonical spec)
+    <dir>/cache/          content-addressed results (RunCache layout)
+    <dir>/leases/         one atomic lease file per in-flight job
+    <dir>/failed/         one failure envelope per permanently failed job
+
+Job state is always *derived* from the filesystem, never stored as a
+mutable field that could go stale:
+
+* **done** — a valid record for the job's key exists in the cache;
+* **failed** — a :class:`~repro.common.records.JobFailure` envelope
+  exists under ``failed/``;
+* **leased** — a live (unexpired) :class:`~repro.common.records.JobLease`
+  file exists under ``leases/``;
+* **pending** — none of the above.
+
+Leases are the only coordination primitive.  Acquisition is an atomic
+``link(2)`` of a fully written temp file, so exactly one worker can win
+a job; a crashed worker's leases expire, and expiry is handled by
+*reaping* — an atomic ``rename(2)`` of the stale lease file, which again
+exactly one worker can win, followed by a fresh acquisition.  Because
+results are content-addressed and written atomically (temp + rename),
+even the worst-case race — a reaped worker that was merely slow, not
+dead — only ever re-executes a job into the byte-identical cache entry:
+duplicated effort, never corrupted or divergent results.  That is what
+makes a manifest resumable and idempotent: re-running a finished one is
+a pure cache replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.common.config import config_from_dict
+from repro.common.records import (
+    JobFailure,
+    JobLease,
+    canonical_json,
+    record_from_dict,
+    record_to_json,
+)
+from repro.detection.faults import FaultSite, TransientFault
+from repro.harness.campaign import (
+    CACHE_SCHEMA_VERSION,
+    CampaignGrid,
+    JobSpec,
+    RunCache,
+    unique_suffix as _unique_suffix,
+)
+
+#: Bump when the manifest directory layout or header changes shape.
+MANIFEST_SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+
+#: Default lease time-to-live in seconds: generous next to any single
+#: job (hundreds of ms to a few s), small next to a campaign.
+DEFAULT_LEASE_TTL = 300.0
+
+
+class ManifestError(ValueError):
+    """A manifest directory is missing, malformed, or names a different
+    campaign than the one being submitted."""
+
+
+def spec_from_description(desc: dict,
+                          _config_memo: dict | None = None) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from its canonical ``describe()`` dict.
+
+    The inverse of :meth:`JobSpec.describe`, used when a worker joins a
+    manifest written by another process (or host) and has nothing but
+    JSON.  ``_config_memo`` lets bulk loaders share reconstructed
+    configs across the many jobs of one grid that differ only in fault.
+    """
+    fault = None
+    if desc["fault"] is not None:
+        fault_fields = dict(desc["fault"])
+        fault_fields["site"] = FaultSite(fault_fields["site"])
+        fault = TransientFault(**fault_fields)
+    config_json = canonical_json(desc["config"])
+    if _config_memo is not None and config_json in _config_memo:
+        config = _config_memo[config_json]
+    else:
+        config = config_from_dict(desc["config"])
+        if _config_memo is not None:
+            _config_memo[config_json] = config
+    return JobSpec(
+        kind=desc["kind"],
+        benchmark=desc["benchmark"],
+        scale=desc["scale"],
+        config=config,
+        fault=fault,
+        interrupt_seqs=tuple(desc["interrupt_seqs"]),
+        scheme=desc["scheme"],
+    )
+
+
+def campaign_id(keys: Iterable[str]) -> str:
+    """Stable identity of a campaign: the hash of its ordered job keys.
+
+    Two grids with the same jobs in the same slot order are the same
+    campaign; anything else is a different one and may not reuse a
+    manifest directory.
+    """
+    return hashlib.sha256(
+        canonical_json(list(keys)).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ManifestJob:
+    """One unique job of a manifest, in first-occurrence order."""
+
+    index: int
+    key: str
+    spec: JobSpec
+
+
+#: The four derived job states.
+JOB_STATES = ("pending", "leased", "done", "failed")
+
+
+class CampaignManifest:
+    """One campaign grid materialised on disk for cooperative execution.
+
+    Construct with :meth:`create` (materialise a grid, or rejoin the
+    identical grid's existing manifest) or :meth:`load` (join whatever
+    is already there).  ``clock`` is injectable so lease expiry is
+    testable without real waiting.
+    """
+
+    def __init__(self, root: str | os.PathLike, header: dict,
+                 jobs: Sequence[JobSpec], keys: Sequence[str],
+                 clock: Callable[[], float] = time.time) -> None:
+        self.root = Path(root)
+        self.header = header
+        #: every job slot in submission order (may contain duplicates)
+        self.slots: tuple[JobSpec, ...] = tuple(jobs)
+        self.keys: tuple[str, ...] = tuple(keys)
+        #: unique jobs in first-occurrence order — the executable set
+        unique: dict[str, ManifestJob] = {}
+        for i, (key, spec) in enumerate(zip(self.keys, self.slots)):
+            if key not in unique:
+                unique[key] = ManifestJob(index=i, key=key, spec=spec)
+        self.unique: tuple[ManifestJob, ...] = tuple(unique.values())
+        self.cache = RunCache(self.root / "cache")
+        self._clock = clock
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | os.PathLike,
+               grid: CampaignGrid | Iterable[JobSpec],
+               kind: str = "", scheme: str = "", scale: str = "",
+               benchmarks: Sequence[str] = (),
+               clock: Callable[[], float] = time.time) -> "CampaignManifest":
+        """Materialise ``grid`` under ``root`` — idempotently.
+
+        If a manifest already exists there it is loaded and verified to
+        describe the *same* campaign (same job keys, same order); a
+        mismatch raises :class:`ManifestError` rather than silently
+        mixing two campaigns' results.
+        """
+        root = Path(root)
+        specs = tuple(grid)
+        keys = tuple(spec.key() for spec in specs)
+        if (root / MANIFEST_FILE).exists():
+            manifest = cls.load(root, clock=clock)
+            if manifest.header["campaign_id"] != campaign_id(keys):
+                raise ManifestError(
+                    f"manifest at {root} holds campaign "
+                    f"{manifest.header['campaign_id'][:12]}…, not the one "
+                    f"being submitted — use a fresh directory per campaign")
+            return manifest
+        header = {
+            "manifest_schema": MANIFEST_SCHEMA_VERSION,
+            "schema": CACHE_SCHEMA_VERSION,
+            "campaign_id": campaign_id(keys),
+            "kind": kind,
+            "scheme": scheme,
+            "scale": scale,
+            "benchmarks": list(benchmarks),
+            "slots": len(specs),
+        }
+        payload = dict(header)
+        payload["jobs"] = [
+            {"key": key, "spec": spec.describe()}
+            for key, spec in zip(keys, specs)
+        ]
+        for sub in ("cache", "leases", "failed"):
+            (root / sub).mkdir(parents=True, exist_ok=True)
+        path = root / MANIFEST_FILE
+        tmp = path.with_suffix(f".tmp.{_unique_suffix()}")
+        tmp.write_text(canonical_json(payload))
+        os.replace(tmp, path)
+        return cls(root, header, specs, keys, clock=clock)
+
+    @classmethod
+    def load(cls, root: str | os.PathLike,
+             clock: Callable[[], float] = time.time) -> "CampaignManifest":
+        """Join an existing manifest, reconstructing and verifying every
+        job spec (a spec whose recomputed key disagrees with the stored
+        one means the manifest was written by an incompatible version)."""
+        root = Path(root)
+        path = root / MANIFEST_FILE
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as err:
+            raise ManifestError(f"no campaign manifest at {root}: {err}") \
+                from None
+        except ValueError as err:
+            raise ManifestError(f"corrupt manifest {path}: {err}") from None
+        if payload.get("manifest_schema") != MANIFEST_SCHEMA_VERSION:
+            raise ManifestError(
+                f"manifest {path} has layout schema "
+                f"{payload.get('manifest_schema')!r}; this version reads "
+                f"{MANIFEST_SCHEMA_VERSION}")
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            raise ManifestError(
+                f"manifest {path} was built for record schema "
+                f"{payload.get('schema')!r}, current is "
+                f"{CACHE_SCHEMA_VERSION} — rebuild it in a fresh directory")
+        config_memo: dict = {}
+        specs, keys = [], []
+        for entry in payload["jobs"]:
+            spec = spec_from_description(entry["spec"], config_memo)
+            if spec.key() != entry["key"]:
+                raise ManifestError(
+                    f"manifest {path} job {entry['key'][:12]}… does not "
+                    f"hash to its stored key after reconstruction")
+            specs.append(spec)
+            keys.append(entry["key"])
+        header = {k: v for k, v in payload.items() if k != "jobs"}
+        if header["campaign_id"] != campaign_id(keys):
+            raise ManifestError(f"manifest {path} campaign id does not "
+                                f"match its own job list")
+        return cls(root, header, specs, keys, clock=clock)
+
+    # -- derived job state ---------------------------------------------------
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "leases" / f"{key}.json"
+
+    def _failure_path(self, key: str) -> Path:
+        return self.root / "failed" / f"{key}.json"
+
+    def is_done(self, key: str) -> bool:
+        return self.cache.has(key)
+
+    def is_failed(self, key: str) -> bool:
+        return self._failure_path(key).exists()
+
+    def read_lease(self, key: str) -> JobLease | None:
+        """The lease envelope on ``key``, live or expired, else None."""
+        try:
+            payload = json.loads(self._lease_path(key).read_text())
+            lease = record_from_dict(payload)
+        except (OSError, ValueError, KeyError):
+            return None
+        return lease if isinstance(lease, JobLease) else None
+
+    def job_state(self, key: str, now: float | None = None) -> str:
+        """One of :data:`JOB_STATES`; an expired lease reads as pending."""
+        if self.is_done(key):
+            return "done"
+        if self.is_failed(key):
+            return "failed"
+        now = self._clock() if now is None else now
+        lease = self.read_lease(key)
+        if lease is not None and lease.expires_at > now:
+            return "leased"
+        if lease is None and self._lease_path(key).exists():
+            # unreadable lease file (should not happen with link-created
+            # envelopes): trust the file while it is fresh, reap it once
+            # a full default TTL has passed
+            try:
+                mtime = self._lease_path(key).stat().st_mtime
+            except OSError:
+                return "pending"
+            if mtime + DEFAULT_LEASE_TTL > now:
+                return "leased"
+        return "pending"
+
+    # -- leasing -------------------------------------------------------------
+
+    def _write_lease(self, path: Path, lease: JobLease) -> bool:
+        """Atomically create ``path`` with the full envelope: write a
+        temp file, then ``link(2)`` it in — exactly one creator wins."""
+        tmp = path.with_name(f"{path.name}.tmp.{_unique_suffix()}")
+        tmp.write_text(record_to_json(lease))
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _reap(self, path: Path) -> bool:
+        """Atomically remove an expired lease; exactly one reaper wins
+        (``rename(2)`` of the same source succeeds for one caller)."""
+        grave = path.with_name(f"{path.name}.reap.{_unique_suffix()}")
+        try:
+            os.rename(path, grave)
+        except OSError:
+            return False
+        grave.unlink(missing_ok=True)
+        return True
+
+    def try_lease(self, key: str, worker: str,
+                  ttl: float = DEFAULT_LEASE_TTL) -> JobLease | None:
+        """Attempt to claim ``key`` for ``worker``.
+
+        Returns the lease on success; None if the job is done, failed,
+        or validly leased to someone else.  An expired lease is reaped
+        and re-acquired with an incremented ``attempt``.
+        """
+        if self.is_done(key) or self.is_failed(key):
+            return None
+        path = self._lease_path(key)
+        now = self._clock()
+        attempt = 1
+        if path.exists():
+            stale = self.read_lease(key)
+            if stale is not None:
+                if stale.expires_at > now:
+                    return None
+                attempt = stale.attempt + 1
+            elif self.job_state(key, now) == "leased":
+                return None  # unreadable but fresh: leave it alone
+            if not self._reap(path):
+                return None  # lost the reaping race
+        lease = JobLease(key=key, worker=worker, acquired_at=now,
+                         expires_at=now + ttl, attempt=attempt)
+        return lease if self._write_lease(path, lease) else None
+
+    def lease_batch(self, worker: str, ttl: float = DEFAULT_LEASE_TTL,
+                    limit: int = 8,
+                    settled: set[str] | None = None,
+                    ) -> list[tuple[ManifestJob, JobLease]]:
+        """Claim up to ``limit`` pending jobs (work-stealing scan).
+
+        ``settled`` is an optional caller-owned memo of keys known to be
+        done or failed: those states are sticky, so jobs in it are
+        skipped without touching the filesystem, and jobs newly observed
+        settled during this scan are added to it.  Without the memo,
+        every scan re-reads every completed result envelope — quadratic
+        I/O over a long campaign.
+        """
+        batch: list[tuple[ManifestJob, JobLease]] = []
+        for job in self.unique:
+            if len(batch) >= limit:
+                break
+            if settled is not None and job.key in settled:
+                continue
+            if self.is_done(job.key) or self.is_failed(job.key):
+                if settled is not None:
+                    settled.add(job.key)
+                continue
+            lease = self.try_lease(job.key, worker, ttl)
+            if lease is not None:
+                batch.append((job, lease))
+        return batch
+
+    def release(self, key: str, lease: JobLease | None = None) -> None:
+        """Drop the lease on ``key`` (after its result or failure
+        envelope has been written).
+
+        Pass the lease you hold to make the release ownership-checked:
+        if the job's lease on disk is no longer yours — you overran your
+        TTL and a rescuer reaped and re-leased the job — the rescuer's
+        live lease is left untouched rather than being unlinked out from
+        under it.  ``lease=None`` releases unconditionally (administrative
+        use).
+        """
+        if lease is not None and self.read_lease(key) != lease:
+            return
+        self._lease_path(key).unlink(missing_ok=True)
+
+    # -- failures ------------------------------------------------------------
+
+    def record_failure(self, key: str, worker: str, error: str,
+                       attempt: int = 1) -> None:
+        path = self._failure_path(key)
+        tmp = path.with_name(f"{path.name}.tmp.{_unique_suffix()}")
+        tmp.write_text(record_to_json(
+            JobFailure(key=key, worker=worker, error=error,
+                       attempt=attempt)))
+        os.replace(tmp, path)
+
+    def failures(self) -> list[JobFailure]:
+        out = []
+        for job in self.unique:
+            try:
+                payload = json.loads(self._failure_path(job.key).read_text())
+                failure = record_from_dict(payload)
+            except (OSError, ValueError, KeyError):
+                continue
+            if isinstance(failure, JobFailure):
+                out.append(failure)
+        return out
+
+    def clear_failures(self) -> int:
+        """Re-queue every failed job; returns how many were cleared."""
+        cleared = 0
+        for job in self.unique:
+            path = self._failure_path(job.key)
+            if path.exists():
+                path.unlink(missing_ok=True)
+                cleared += 1
+        return cleared

@@ -1,4 +1,16 @@
-"""Rollback recovery — the paper's future-work correction extension."""
+"""Rollback recovery — the paper's future-work correction extension.
+
+The paper provides *detection* only and names checkpoint-based rollback
+as its standard correction companion (§IV-F); this package implements
+that loop end to end: :mod:`repro.recovery.snapshots` couples register
+checkpoints with memory images that become safe to restore once every
+log segment up to their boundary has validated, and
+:mod:`repro.recovery.rollback` drives detect → roll back → re-execute →
+re-verify using the real detection pipeline on both sides.  Campaigns
+reach it through the ``recovery`` job kind (schemes with
+``supports_recovery`` only), which yields
+:class:`~repro.common.records.RecoveryRecord` rows.
+"""
 
 from repro.recovery.rollback import (
     RecoveryOutcome,

@@ -1,4 +1,15 @@
-"""The nine Table II workload kernels and the suite registry."""
+"""The nine Table II workload kernels and the suite registry.
+
+Each module re-expresses one PARSEC/HPCC/MiBench benchmark as a kernel
+in the repro ISA, parameterised to sit at the original's point on the
+axes §VI's evaluation sweeps care about (memory- vs. compute-bound,
+access regularity, FP intensity, branchiness).  Two scales exist per
+kernel: ``default`` (figure-fidelity trace lengths) and ``small``
+(smoke-test sized; campaign cache keys include the scale, so the two
+never mix).  :mod:`repro.workloads.suite` is the registry the campaign
+engine, figure harness, and CLI resolve benchmark names through — new
+workloads register there and become campaign subjects automatically.
+"""
 
 from repro.workloads import (
     bitcount,

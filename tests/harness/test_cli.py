@@ -105,6 +105,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "randacc" in out and "slowdown" in out
 
+
+class TestManifestCommands:
+    def test_campaign_manifest_rejects_shard(self, capsys, tmp_path):
+        assert main(["campaign", "--manifest", str(tmp_path / "m"),
+                     "--shard", "0/2"]) == 2
+        assert "static fan-out" in capsys.readouterr().err
+
+    def test_campaign_manifest_rejects_cache_dir(self, capsys, tmp_path):
+        """--cache-dir must be rejected, not silently ignored: the
+        manifest always uses its own <dir>/cache."""
+        assert main(["campaign", "--manifest", str(tmp_path / "m"),
+                     "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "silently ignored" in capsys.readouterr().err
+
+    def test_materialize_only_requires_manifest(self, capsys):
+        assert main(["campaign", "--materialize-only"]) == 2
+        assert "needs --manifest" in capsys.readouterr().err
+
+    def test_campaign_manifest_end_to_end(self, capsys, tmp_path):
+        """campaign --manifest materialises, executes, and resumes as a
+        pure cache replay; campaign-status and campaign-worker agree."""
+        import json
+        argv = ["campaign", "--benchmark", "stream", "--trials", "6",
+                "--manifest", str(tmp_path / "m"), "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["manifest"]["complete"]
+        assert first["manifest"]["executed_this_run"] == 6
+
+        # identical re-run: nothing executes, records identical
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["manifest"]["executed_this_run"] == 0
+        assert second["records"] == first["records"]
+
+        # a late worker finds nothing leasable
+        assert main(["campaign-worker", "--manifest", str(tmp_path / "m"),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["executed"] == 0 and stats["failed"] == 0
+
+        assert main(["campaign-status", "--manifest", str(tmp_path / "m"),
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] and status["states"]["done"] == 6
+        assert status["campaign_id"] == first["manifest"]["campaign_id"]
+
+    def test_worker_and_status_need_existing_manifest(self, capsys,
+                                                      tmp_path):
+        missing = str(tmp_path / "nothing")
+        assert main(["campaign-worker", "--manifest", missing]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+        assert main(["campaign-status", "--manifest", missing]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_status_human_output(self, capsys, tmp_path):
+        assert main(["campaign", "--benchmark", "stream", "--trials", "6",
+                     "--manifest", str(tmp_path / "m")]) == 0
+        capsys.readouterr()
+        assert main(["campaign-status", "--manifest",
+                     str(tmp_path / "m")]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "scheme detection" in out
+
     def test_figure_registry_complete(self):
         for name in ("table1", "table2", "fig1", "fig7", "fig8", "fig9",
                      "fig10", "fig11", "fig12", "fig13", "area", "power"):
