@@ -1,0 +1,179 @@
+"""Executor microbenchmark: the perf baseline of the execution core.
+
+Measures **committed instructions per second** for the two hot paths every
+campaign job bottoms out in:
+
+* ``execute`` — :func:`repro.isa.executor.execute_program`, the main-core
+  functional run that produces the committed trace;
+* ``replay`` — :class:`repro.detection.checker.SegmentChecker` replaying
+  the same committed stream from its load-store-log segments (the paper's
+  checker-core path; §IV-B).
+
+Emits one machine-readable ``BENCH {...}`` JSON line so the perf
+trajectory has something to hang before/after numbers off, and supports a
+regression gate against a committed baseline file::
+
+    python benchmarks/bench_executor.py                      # measure
+    python benchmarks/bench_executor.py --output bench.json  # + write file
+    python benchmarks/bench_executor.py \
+        --check benchmarks/baselines/bench_executor.json --tolerance 0.30
+
+The gate compares *relative* throughput: it fails (exit 1) when either
+path's mean instructions/second drops more than ``--tolerance`` below the
+baseline.  Raw numbers are machine-dependent; the committed baseline is
+deliberately conservative and the default tolerance wide (30 %), so the
+gate catches structural regressions (an accidentally de-optimised step
+loop), not runner-to-runner jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.detection.checker import SegmentChecker
+from repro.detection.checkpoint import ArchStateTracker
+from repro.detection.lslog import CloseReason, LogEntry, Segment
+from repro.isa.executor import LOAD, NONDET, STORE, execute_program
+from repro.workloads.suite import build_benchmark
+
+#: Default measurement workloads: one memory-bound, one compute-bound.
+DEFAULT_WORKLOADS = ("stream", "bitcount")
+
+#: Instructions per hand-built log segment for the replay benchmark.
+SEGMENT_INSTRUCTIONS = 200
+
+
+def build_segments(trace) -> list[Segment]:
+    """Cut the committed trace into closed segments every
+    :data:`SEGMENT_INSTRUCTIONS` commits (one pass, outside the timed
+    region), mirroring what the detection system's log builder produces."""
+    tracker = ArchStateTracker()
+    segments: list[Segment] = []
+    rows = trace.instructions
+    total = len(rows)
+    start_seq = 0
+    start = tracker.snapshot(rows[0].pc if total else trace.program.entry)
+    entries: list[LogEntry] = []
+    for i in range(total):
+        dyn = rows[i]
+        for memop in dyn.mem:
+            if memop.kind == LOAD:
+                entries.append(LogEntry(LOAD, memop.addr, memop.value, 0))
+            elif memop.kind == STORE:
+                entries.append(LogEntry(STORE, memop.addr, memop.value, 0))
+            else:
+                entries.append(LogEntry(NONDET, 0, memop.value, 0))
+        tracker.apply(dyn)
+        if (i - start_seq + 1) >= SEGMENT_INSTRUCTIONS or i == total - 1:
+            end = tracker.snapshot(dyn.next_pc)
+            segment = Segment(index=len(segments), slot=0,
+                              start_checkpoint=start, start_seq=start_seq,
+                              entries=entries)
+            segment.close_reason = CloseReason.FULL
+            segment.end_checkpoint = end
+            segment.end_seq = i + 1
+            segments.append(segment)
+            start = end
+            start_seq = i + 1
+            entries = []
+    return segments
+
+
+def bench_workload(name: str, scale: str, repeat: int) -> dict:
+    """Best-of-``repeat`` instructions/second for both paths on ``name``."""
+    program = build_benchmark(name, scale)
+    trace = execute_program(program)   # warm-up + reference trace
+    instructions = len(trace)
+
+    execute_best = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        execute_program(program)
+        elapsed = time.perf_counter() - t0
+        execute_best = max(execute_best, instructions / elapsed)
+
+    segments = build_segments(trace)
+    checker = SegmentChecker(program)
+    replay_best = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for segment in segments:
+            result = checker.check(segment)
+            assert result.ok, (name, result.errors)
+        elapsed = time.perf_counter() - t0
+        replay_best = max(replay_best, instructions / elapsed)
+
+    return {
+        "instructions": instructions,
+        "execute_ips": round(execute_best, 1),
+        "replay_ips": round(replay_best, 1),
+    }
+
+
+def run(workloads: list[str], scale: str, repeat: int) -> dict:
+    results = {name: bench_workload(name, scale, repeat)
+               for name in workloads}
+    n = len(results)
+    return {
+        "bench": "executor",
+        "schema": 1,
+        "scale": scale,
+        "repeat": repeat,
+        "workloads": results,
+        "mean_execute_ips": round(
+            sum(r["execute_ips"] for r in results.values()) / n, 1),
+        "mean_replay_ips": round(
+            sum(r["replay_ips"] for r in results.values()) / n, 1),
+    }
+
+
+def check_against(payload: dict, baseline_path: str, tolerance: float) -> int:
+    """Exit status of the regression gate (0 ok, 1 regressed)."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    status = 0
+    for metric in ("mean_execute_ips", "mean_replay_ips"):
+        current = payload[metric]
+        reference = baseline[metric]
+        floor = reference * (1.0 - tolerance)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{metric}: {current:.0f} vs baseline {reference:.0f} "
+              f"(floor {floor:.0f}) {verdict}")
+        if current < floor:
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated suite workload names")
+    parser.add_argument("--scale", default="small",
+                        choices=["small", "default"])
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions per path (best is kept)")
+    parser.add_argument("--output", default=None,
+                        help="also write the BENCH payload to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed baseline JSON and "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional ips drop vs the baseline")
+    args = parser.parse_args(argv)
+
+    payload = run(args.workloads.split(","), args.scale, args.repeat)
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    if args.check:
+        return check_against(payload, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

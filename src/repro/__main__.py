@@ -17,10 +17,13 @@ Commands:
     ``--manifest DIR`` the grid is materialised as an on-disk manifest
     and driven by work-stealing workers instead of static sharding —
     other hosts can join the same run with ``campaign-worker``.
-``campaign-worker --manifest DIR [--lease-ttl S] [--batch N]``
+``campaign-worker --manifest DIR [--lease-ttl S] [--batch N]
+[--max-attempts N] [--retry-failed]``
     Join an existing manifest as one work-stealing worker: lease pending
     jobs, execute them, write results into the shared cache, exit when
     nothing is leasable.  Safe to run any number of these concurrently.
+    ``--max-attempts N`` re-leases failed jobs automatically until their
+    failure envelope records N attempts (default 1: manual retry only).
 ``campaign-status --manifest DIR [--json]``
     Progress of a manifest campaign: per-state counts, per-scheme and
     per-kind progress, failure summaries.
@@ -135,6 +138,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               "to materialise otherwise)", file=sys.stderr)
         return 2
 
+    # install the shared golden-trace store before grid construction:
+    # fault/recovery grids need each benchmark's clean trace length, so a
+    # warm store makes even grid building skip functional executions
+    from pathlib import Path
+    from repro.harness.campaign import TRACE_STORE_DIRNAME
+    from repro.workloads.suite import configure_trace_store
+    if args.manifest is not None:
+        configure_trace_store(Path(args.manifest) / TRACE_STORE_DIRNAME)
+    elif args.cache_dir is not None:
+        configure_trace_store(Path(args.cache_dir) / TRACE_STORE_DIRNAME)
+
     try:
         grid = _build_grid(args, names)
     except ValueError as error:
@@ -241,7 +255,8 @@ def cmd_campaign_worker(args: argparse.Namespace) -> int:
             print(f"re-queued {cleared} failed job(s)")
     worker = CampaignWorker(manifest, worker_id=args.worker_id,
                             lease_ttl=args.lease_ttl,
-                            batch_size=args.batch)
+                            batch_size=args.batch,
+                            max_attempts=args.max_attempts)
     stats = worker.run(max_jobs=args.max_jobs)
     if args.json:
         print(canonical_json(stats.as_dict()))
@@ -411,8 +426,15 @@ def make_parser() -> argparse.ArgumentParser:
                                "(default: host-pid)")
     p_worker.add_argument("--max-jobs", type=int, default=None,
                           help="stop after claiming this many jobs")
+    p_worker.add_argument("--max-attempts", type=int, default=1,
+                          help="automatically re-lease failed jobs until "
+                               "they have failed this many times (1 = "
+                               "never retry automatically; failures carry "
+                               "their attempt count)")
     p_worker.add_argument("--retry-failed", action="store_true",
-                          help="re-queue previously failed jobs first")
+                          help="re-queue previously failed jobs first "
+                               "(manual, unbounded counterpart of "
+                               "--max-attempts)")
     p_worker.add_argument("--json", action="store_true",
                           help="emit worker stats as canonical JSON")
     p_worker.set_defaults(func=cmd_campaign_worker)

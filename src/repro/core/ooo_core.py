@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from repro.common.config import SystemConfig
 from repro.core.branch import TournamentPredictor
 from repro.core.latencies import NON_PIPELINED, execute_latency
-from repro.isa.executor import DynInstr, LOAD, STORE, Trace
+from repro.isa.executor import LOAD, STORE, Trace
 from repro.isa.instructions import FuClass, Opcode, pc_to_byte_address
 from repro.isa.meta import program_meta
 from repro.memory.hierarchy import MemoryHierarchy
@@ -44,16 +44,24 @@ from repro.memory.hierarchy import MemoryHierarchy
 class CommitHook:
     """Interface by which the detection system observes/stalls commit.
 
-    The base implementation is a no-op (unprotected core).
+    The hook walks the trace's columns alongside the core: ``begin``
+    hands it the columnar trace once, and the per-instruction callbacks
+    identify the committing instruction by its row index (== commit
+    ``seq``), so no per-instruction record objects are materialised on
+    the timing path.  The base implementation is a no-op (unprotected
+    core).
     """
 
-    def pre_commit(self, instr: DynInstr, earliest_cycle: int) -> int:
-        """Return the earliest cycle at which ``instr`` may commit (>= the
+    def begin(self, trace: Trace) -> None:
+        """Called once before the first commit with the trace being run."""
+
+    def pre_commit(self, seq: int, earliest_cycle: int) -> int:
+        """Return the earliest cycle at which row ``seq`` may commit (>= the
         argument).  Called once per instruction, in commit order."""
         return earliest_cycle
 
-    def post_commit(self, instr: DynInstr, commit_cycle: int) -> int:
-        """Called after ``instr`` commits at ``commit_cycle``.  Returns the
+    def post_commit(self, seq: int, commit_cycle: int) -> int:
+        """Called after row ``seq`` commits at ``commit_cycle``.  Returns the
         number of cycles to pause commit afterwards (0 for none)."""
         return 0
 
@@ -159,20 +167,31 @@ class OoOCore:
         commit_floor = 0         # earliest next commit (stall injection)
         stall_cycles_total = 0
 
-        instructions = trace.instructions
+        # trace columns (structure of arrays: no row objects on this path)
+        pcs = trace.pcs
+        takens = trace.takens
+        mem_off = trace.mem_off
+        mem_kind = trace.mem_kind
+        mem_addr = trace.mem_addr
+        final_next_pc = trace.final_next_pc
+        total = len(pcs)
         total_uops = 0
 
-        for dyn in instructions:
-            meta = metas[dyn.pc]
+        if hook is not None:
+            hook.begin(trace)
+
+        for i in range(total):
+            pc = pcs[i]
+            meta = metas[pc]
             op = meta.op
             uops = meta.uops
             total_uops += uops
 
             # ---- fetch -----------------------------------------------------
-            line = pc_to_byte_address(dyn.pc) >> line_shift
+            line = pc_to_byte_address(pc) >> line_shift
             if line != current_fetch_line:
                 icache_ready = hierarchy.access_instr(
-                    pc_to_byte_address(dyn.pc), fetch_cycle)
+                    pc_to_byte_address(pc), fetch_cycle)
                 current_fetch_line = line
             this_fetch = max(fetch_cycle, icache_ready)
             if this_fetch > fetch_cycle:
@@ -226,24 +245,26 @@ class OoOCore:
                 latency = 1
 
             # ---- execute ----------------------------------------------------
+            m_lo, m_hi = mem_off[i], mem_off[i + 1]
             if meta.is_load:
                 done = issue
-                for memop in dyn.mem:
-                    if memop.kind != LOAD:
+                for j in range(m_lo, m_hi):
+                    if mem_kind[j] != LOAD:
                         continue
-                    fwd = store_forward.get(memop.addr)
+                    addr = mem_addr[j]
+                    fwd = store_forward.get(addr)
                     if fwd is not None:
                         access_done = max(issue + 1, fwd)
                     else:
                         access_done = hierarchy.access_data(
-                            memop.addr, False, dyn.pc, issue + 1)
+                            addr, False, pc, issue + 1)
                     if access_done > done:
                         done = access_done
             elif meta.is_store:
                 done = issue + 1
-                for memop in dyn.mem:
-                    if memop.kind == STORE:
-                        store_forward[memop.addr] = done
+                for j in range(m_lo, m_hi):
+                    if mem_kind[j] == STORE:
+                        store_forward[mem_addr[j]] = done
                         if len(store_forward) > 2 * sq_size:
                             # retire oldest forwarding entries
                             for key in list(store_forward)[:sq_size]:
@@ -254,13 +275,13 @@ class OoOCore:
             # ---- branch resolution -------------------------------------------
             if meta.is_branch or meta.is_jump:
                 mispredicted = predictor.mispredicted(
-                    dyn.pc,
+                    pc,
                     meta.is_branch,
                     meta.is_jump,
                     op is Opcode.JALR,
                     op is Opcode.JAL,
-                    bool(dyn.taken),
-                    dyn.next_pc,
+                    takens[i] == 1,
+                    pcs[i + 1] if i + 1 < total else final_next_pc,
                 )
                 if mispredicted:
                     redirect = done + mispredict_penalty
@@ -276,7 +297,7 @@ class OoOCore:
             if earliest < commit_floor:
                 earliest = commit_floor
             if hook is not None:
-                held = hook.pre_commit(dyn, earliest)
+                held = hook.pre_commit(i, earliest)
                 if held > earliest:
                     stall_cycles_total += held - earliest
                     earliest = held
@@ -303,9 +324,9 @@ class OoOCore:
                 sq_ring[sq_head] = commit_cycle + 1
                 sq_head = sq_head + 1 if sq_head + 1 < sq_size else 0
                 # drain the store to the cache hierarchy post-commit
-                for memop in dyn.mem:
-                    if memop.kind == STORE:
-                        hierarchy.access_data(memop.addr, True, dyn.pc,
+                for j in range(m_lo, m_hi):
+                    if mem_kind[j] == STORE:
+                        hierarchy.access_data(mem_addr[j], True, pc,
                                               commit_cycle + 1)
 
             # writeback ready times
@@ -316,7 +337,7 @@ class OoOCore:
                     int_ready[idx] = done
 
             if hook is not None:
-                pause = hook.post_commit(dyn, commit_cycle)
+                pause = hook.post_commit(i, commit_cycle)
                 if pause:
                     stall_cycles_total += pause
                     commit_floor = commit_cycle + pause
@@ -335,7 +356,7 @@ class OoOCore:
 
         return CoreResult(
             cycles=total_cycles,
-            instructions=len(instructions),
+            instructions=total,
             uops=total_uops,
             system_cycles=system_cycles,
             branch_lookups=self.predictor.lookups,

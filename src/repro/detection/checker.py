@@ -179,14 +179,31 @@ class SegmentChecker:
 
         executed = 0
         global_seq = segment.start_seq
+        # drive the program's pre-bound handler table directly: the
+        # replay loop is the checker-core hot path, so it skips the
+        # step() wrapper just like the main-core executor does
+        steps = machine._steps
+        faults_by_seq = self._faults_by_seq
+        steps_out = result.steps
         try:
             while executed < instr_budget and not machine.halted:
                 pc = machine.pc
-                dsts, _mem, taken = machine.step()
-                faults = self._faults_by_seq.get(global_seq)
-                if faults:
-                    self._corrupt(machine, dsts, faults)
-                result.steps.append((pc, bool(taken)))
+                try:
+                    fn = steps[pc]
+                except IndexError:
+                    # deliberately ExecutionError (not the executor's
+                    # AssemblyError): replayed control flow running off
+                    # the program is a checker *finding* — the handler
+                    # below classifies it as REPLAY_FAULT
+                    raise ExecutionError(
+                        f"instruction fetch out of range: pc={pc}") from None
+                dsts, _mem, taken = fn(machine)
+                machine.instr_count += 1
+                if faults_by_seq:
+                    faults = faults_by_seq.get(global_seq)
+                    if faults:
+                        self._corrupt(machine, dsts, faults)
+                steps_out.append((pc, bool(taken)))
                 executed += 1
                 global_seq += 1
         except _LogMismatch as mismatch:

@@ -80,7 +80,12 @@ class ArchStateTracker:
 
     def apply(self, dyn: DynInstr) -> None:
         """Apply one committed instruction's register writebacks."""
-        for is_fp, idx, value in dyn.dsts:
+        self.apply_dsts(dyn.dsts)
+
+    def apply_dsts(self, dsts: tuple) -> None:
+        """Apply one writeback tuple straight from the trace's column
+        (the hot path: no row view needed)."""
+        for is_fp, idx, value in dsts:
             if is_fp:
                 self.fregs[idx] = value
             else:

@@ -194,7 +194,8 @@ class FaultInjector:
         if faults:
             for fault in faults:
                 if fault.site in (FaultSite.RESULT, FaultSite.LOAD_VALUE):
-                    dsts = self._corrupt_result(machine, instr, dsts, mem, fault)
+                    dsts, mem = self._corrupt_result(
+                        machine, instr, dsts, mem, fault)
                 elif fault.site is FaultSite.BRANCH and taken is not None \
                         and instr.op in BRANCH_OPS:
                     taken = not taken
@@ -213,14 +214,18 @@ class FaultInjector:
         return dsts, mem, taken
 
     def _corrupt_result(self, machine: Machine, instr, dsts: tuple,
-                        mem: tuple, fault: TransientFault) -> tuple:
-        """Flip a bit in a writeback value (and the register holding it)."""
+                        mem: tuple, fault: TransientFault) -> tuple[tuple, tuple]:
+        """Flip a bit in a writeback value (and the register holding it).
+
+        ``mem`` entries are the executor's raw ``(kind, addr, value,
+        used_value)`` tuples; the corrupted copy is returned alongside
+        the new writebacks."""
         if not dsts:
-            return dsts
+            return dsts, mem
         which = min(fault.memop_index, len(dsts) - 1)
         if fault.site is FaultSite.LOAD_VALUE and not any(
-                m.kind == LOAD for m in mem):
-            return dsts  # LOAD_VALUE only strikes loads
+                entry[0] == LOAD for entry in mem):
+            return dsts, mem  # LOAD_VALUE only strikes loads
         is_fp, idx, value = dsts[which]
         if is_fp:
             bad = bits_to_float(float_to_bits(value) ^ (1 << fault.bit))
@@ -233,10 +238,13 @@ class FaultInjector:
         new_dsts[which] = (is_fp, idx, bad)
         # mark the architecturally-used value on the matching load record,
         # so LFU-off mode forwards the corrupted value into the log
-        if which < len(mem) and mem[which].kind == LOAD:
-            mem[which].used_value = float_to_bits(bad) if is_fp else bad
+        if which < len(mem) and mem[which][0] == LOAD:
+            kind, addr, value, _used = mem[which]
+            used = float_to_bits(bad) if is_fp else bad
+            mem = (mem[:which] + ((kind, addr, value, used),)
+                   + mem[which + 1:])
         self.activations.append((machine.instr_count - 1, fault.site))
-        return tuple(new_dsts)
+        return tuple(new_dsts), mem
 
     def _apply_hard(self, machine: Machine, dsts: tuple, hard: HardFault) -> tuple:
         is_fp, idx, value = dsts[0]

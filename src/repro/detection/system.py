@@ -38,7 +38,7 @@ from repro.detection.checkpoint import ArchStateTracker, RegisterCheckpoint
 from repro.detection.faults import FaultSite, TransientFault
 from repro.detection.lfu import LoadForwardingUnit
 from repro.detection.lslog import CloseReason, LogEntry, Segment, SegmentBuilder
-from repro.isa.executor import DynInstr, LOAD, NONDET, STORE, Trace
+from repro.isa.executor import LOAD, Trace
 from repro.isa.meta import program_meta
 from repro.isa.program import Program
 from repro.memory.hierarchy import CheckerICaches
@@ -183,17 +183,34 @@ class ParallelErrorDetection(CommitHook):
 
     # -- CommitHook interface ---------------------------------------------------
 
-    def pre_commit(self, dyn: DynInstr, earliest_cycle: int) -> int:
+    def begin(self, trace: Trace) -> None:
+        """Bind to the trace being timed: cache its column references so
+        the per-commit callbacks below are pure column reads."""
+        self._pcs = trace.pcs
+        self._dsts = trace.dsts
+        self._mem_off = trace.mem_off
+        self._mem_kind = trace.mem_kind
+        self._mem_addr = trace.mem_addr
+        self._mem_value = trace.mem_value
+        self._mem_used = trace.mem_used
+        self._total = len(trace)
+        self._final_next_pc = trace.final_next_pc
+
+    def _next_pc_of(self, seq: int) -> int:
+        return (self._pcs[seq + 1] if seq + 1 < self._total
+                else self._final_next_pc)
+
+    def pre_commit(self, seq: int, earliest_cycle: int) -> int:
         builder = self.builder
-        entry_count = len(dyn.mem)
+        entry_count = self._mem_off[seq + 1] - self._mem_off[seq]
 
         if entry_count and builder.will_overflow(entry_count):
             # macro-op rule: close at the boundary *before* this instruction;
             # its entries all go into the next segment (§IV-D)
             close_tick = earliest_cycle * self.main_period
             closed = builder.close(
-                CloseReason.FULL, self._take_checkpoint(dyn.pc),
-                end_seq=dyn.seq, close_tick=close_tick)
+                CloseReason.FULL, self._take_checkpoint(self._pcs[seq]),
+                end_seq=seq, close_tick=close_tick)
             self._dispatch(closed, close_tick)
             earliest_cycle += self.ckpt_cycles
             self.report.checkpoint_stall_cycles += self.ckpt_cycles
@@ -210,14 +227,15 @@ class ParallelErrorDetection(CommitHook):
 
         return earliest_cycle
 
-    def post_commit(self, dyn: DynInstr, commit_cycle: int) -> int:
+    def post_commit(self, seq: int, commit_cycle: int) -> int:
         builder = self.builder
         commit_tick = commit_cycle * self.main_period
-        self.arch.apply(dyn)
-        self._last_next_pc = dyn.next_pc
+        self.arch.apply_dsts(self._dsts[seq])
+        next_pc = self._next_pc_of(seq)
+        self._last_next_pc = next_pc
 
-        if dyn.mem:
-            builder.append(self._log_entries(dyn, commit_tick))
+        if self._mem_off[seq + 1] - self._mem_off[seq]:
+            builder.append(self._log_entries(seq, commit_tick))
         builder.count_instruction()
 
         reason: CloseReason | None = None
@@ -226,7 +244,7 @@ class ParallelErrorDetection(CommitHook):
         elif builder.timeout_reached():
             reason = CloseReason.TIMEOUT
         elif (self._next_interrupt < len(self._interrupts)
-                and self._interrupts[self._next_interrupt] <= dyn.seq):
+                and self._interrupts[self._next_interrupt] <= seq):
             self._next_interrupt += 1
             reason = CloseReason.INTERRUPT
 
@@ -234,8 +252,8 @@ class ParallelErrorDetection(CommitHook):
             return 0
 
         closed = builder.close(
-            reason, self._take_checkpoint(dyn.next_pc),
-            end_seq=dyn.seq + 1, close_tick=commit_tick)
+            reason, self._take_checkpoint(next_pc),
+            end_seq=seq + 1, close_tick=commit_tick)
         self._dispatch(closed, commit_tick)
         self.report.checkpoint_stall_cycles += self.ckpt_cycles
         self._arm_commit_gate()
@@ -267,24 +285,28 @@ class ParallelErrorDetection(CommitHook):
         if self.slot_free_tick[slot] > 0:
             self._commit_gate_tick = self.slot_free_tick[slot]
 
-    def _log_entries(self, dyn: DynInstr, commit_tick: int) -> list[LogEntry]:
+    def _log_entries(self, seq: int, commit_tick: int) -> list[LogEntry]:
         entries = []
-        for memop in dyn.mem:
-            if memop.kind == LOAD:
+        mem_kind = self._mem_kind
+        mem_addr = self._mem_addr
+        mem_value = self._mem_value
+        for j in range(self._mem_off[seq], self._mem_off[seq + 1]):
+            kind = mem_kind[j]
+            if kind == LOAD:
                 if self.use_lfu:
                     # duplicated at access, forwarded at commit (§IV-C)
-                    self.lfu.capture(dyn.seq, memop.addr, memop.value)
-                    addr, value = self.lfu.forward_at_commit(dyn.seq)
+                    self.lfu.capture(seq, mem_addr[j], mem_value[j])
+                    addr, value = self.lfu.forward_at_commit(seq)
                 else:
                     # ablation: commit-time forwarding from the register
                     # file re-opens the window of vulnerability
-                    addr, value = memop.addr, memop.used_value
+                    addr, value = mem_addr[j], self._mem_used[j]
                 entries.append(LogEntry(LOAD, addr, value, commit_tick))
-            elif memop.kind == STORE:
-                entries.append(LogEntry(STORE, memop.addr, memop.value,
-                                        commit_tick))
             else:
-                entries.append(LogEntry(NONDET, 0, memop.value, commit_tick))
+                # STORE logs addr + data; NONDET logs the forwarded result
+                # at address 0 — both exactly the column contents
+                entries.append(LogEntry(kind, mem_addr[j], mem_value[j],
+                                        commit_tick))
         return entries
 
     def _dispatch(self, segment: Segment, close_tick: int) -> None:

@@ -61,13 +61,20 @@ from repro.schemes.base import ProtectionScheme
 # re-exported from its historical home here; the definition moved to the
 # scheme layer alongside its consumers
 from repro.schemes.base import architecturally_masked as architecturally_masked
-from repro.workloads.suite import benchmark_trace
+from repro.workloads.suite import benchmark_trace, configure_trace_store
 
 #: Bump whenever job execution or record layout changes meaning: every
 #: cached result carries it, so stale caches read as misses, never as
 #: silently wrong data.  v2: jobs carry a protection-scheme name, and
-#: baseline/fault/recovery records gained scheme fields.
-CACHE_SCHEMA_VERSION = 2
+#: baseline/fault/recovery records gained scheme fields.  v3: the
+#: execution core is columnar with pre-decoded dispatch and clean traces
+#: flow through the shared golden-trace store (whose envelopes carry
+#: their own schema) — results are re-keyed against the new pipeline.
+CACHE_SCHEMA_VERSION = 3
+
+#: Subdirectory of a cache root holding the shared golden-trace store
+#: (two-character key prefixes can never collide with it).
+TRACE_STORE_DIRNAME = "traces"
 
 #: Job kinds the engine knows how to execute.
 JOB_KINDS = ("baseline", "detection", "fault", "recovery")
@@ -286,8 +293,16 @@ def execute_job(spec: JobSpec) -> dict:
     return record_to_dict(executor(spec, scheme, config_key))
 
 
-def _execute_shard(items: list[tuple[int, JobSpec]]) -> list[tuple[int, dict]]:
-    """Worker entry: execute one shard, tagging results with job indices."""
+def _execute_shard(payload: tuple[str | None, list[tuple[int, JobSpec]]],
+                   ) -> list[tuple[int, dict]]:
+    """Worker entry: execute one shard, tagging results with job indices.
+
+    ``payload`` carries the golden-trace store root alongside the jobs so
+    pool children (including spawn-start ones) share the parent's store.
+    """
+    store_root, items = payload
+    if store_root is not None:
+        configure_trace_store(store_root)
     return [(index, execute_job(spec)) for index, spec in items]
 
 
@@ -529,12 +544,22 @@ class CampaignEngine:
     """
 
     def __init__(self, workers: int = 1,
-                 cache_dir: str | os.PathLike | None = None) -> None:
+                 cache_dir: str | os.PathLike | None = None,
+                 trace_store_dir: str | os.PathLike | None = None) -> None:
         self.workers = max(1, int(workers))
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        #: golden-trace store root: explicit, or derived from the cache
+        #: directory (``<cache>/traces``) so cached campaigns share clean
+        #: executions across processes exactly like they share results
+        if trace_store_dir is None and cache_dir is not None:
+            trace_store_dir = Path(cache_dir) / TRACE_STORE_DIRNAME
+        self.trace_store_dir = (str(trace_store_dir)
+                                if trace_store_dir is not None else None)
         self._memo: dict[str, dict] = {}
 
     def run(self, jobs: Iterable[JobSpec]) -> CampaignResult:
+        if self.trace_store_dir is not None:
+            configure_trace_store(self.trace_store_dir)
         specs = tuple(jobs)
         keys = tuple(spec.key() for spec in specs)
         records: list[dict | None] = [None] * len(specs)
@@ -560,11 +585,11 @@ class CampaignEngine:
         if unique:
             indexed = [(i, specs[pos]) for i, (pos, _key) in enumerate(unique)]
             if self.workers == 1 or len(indexed) == 1:
-                outputs = _execute_shard(indexed)
+                outputs = _execute_shard((self.trace_store_dir, indexed))
             else:
-                shards = [indexed[w::self.workers]
+                shards = [(self.trace_store_dir, indexed[w::self.workers])
                           for w in range(self.workers)]
-                shards = [s for s in shards if s]
+                shards = [s for s in shards if s[1]]
                 with multiprocessing.Pool(len(shards)) as pool:
                     outputs = [item for shard_out
                                in pool.map(_execute_shard, shards)

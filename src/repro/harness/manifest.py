@@ -199,7 +199,7 @@ class CampaignManifest:
             {"key": key, "spec": spec.describe()}
             for key, spec in zip(keys, specs)
         ]
-        for sub in ("cache", "leases", "failed"):
+        for sub in ("cache", "leases", "failed", "traces"):
             (root / sub).mkdir(parents=True, exist_ok=True)
         path = root / MANIFEST_FILE
         tmp = path.with_suffix(f".tmp.{_unique_suffix()}")
@@ -319,45 +319,78 @@ class CampaignManifest:
         grave.unlink(missing_ok=True)
         return True
 
+    #: Sentinel: "the caller has not read the failure envelope for me".
+    _UNREAD = object()
+
     def try_lease(self, key: str, worker: str,
-                  ttl: float = DEFAULT_LEASE_TTL) -> JobLease | None:
+                  ttl: float = DEFAULT_LEASE_TTL,
+                  max_attempts: int = 1, *,
+                  _failure: object = _UNREAD) -> JobLease | None:
         """Attempt to claim ``key`` for ``worker``.
 
         Returns the lease on success; None if the job is done, failed,
         or validly leased to someone else.  An expired lease is reaped
         and re-acquired with an incremented ``attempt``.
+
+        ``max_attempts`` bounds *automatic re-lease of failed jobs*: a
+        job whose failure envelope records fewer than ``max_attempts``
+        attempts is re-queued — its envelope is consumed by whichever
+        worker wins the fresh lease, and the new lease (and any
+        subsequent failure envelope) carries the incremented attempt
+        count.  The default of 1 preserves the manual behaviour: failed
+        jobs stay failed until an operator clears them
+        (``--retry-failed``).
         """
-        if self.is_done(key) or self.is_failed(key):
+        if self.is_done(key):
             return None
+        failure = None
+        if self.is_failed(key):
+            # ``_failure`` lets lease_batch hand over the envelope it
+            # already parsed this scan instead of re-reading it here
+            failure = (self.read_failure(key)
+                       if _failure is self._UNREAD else _failure)
+            if not self._has_attempts_left(failure, max_attempts):
+                return None
         path = self._lease_path(key)
         now = self._clock()
-        attempt = 1
+        attempt = 1 if failure is None else failure.attempt + 1
         if path.exists():
             stale = self.read_lease(key)
             if stale is not None:
                 if stale.expires_at > now:
                     return None
-                attempt = stale.attempt + 1
+                attempt = max(attempt, stale.attempt + 1)
             elif self.job_state(key, now) == "leased":
                 return None  # unreadable but fresh: leave it alone
             if not self._reap(path):
                 return None  # lost the reaping race
         lease = JobLease(key=key, worker=worker, acquired_at=now,
                          expires_at=now + ttl, attempt=attempt)
-        return lease if self._write_lease(path, lease) else None
+        if not self._write_lease(path, lease):
+            return None
+        if failure is not None:
+            # the lease is won: consume the failure envelope so the job
+            # reads as leased (then done/failed-again), not failed
+            self._failure_path(key).unlink(missing_ok=True)
+        return lease
 
     def lease_batch(self, worker: str, ttl: float = DEFAULT_LEASE_TTL,
                     limit: int = 8,
                     settled: set[str] | None = None,
+                    max_attempts: int = 1,
                     ) -> list[tuple[ManifestJob, JobLease]]:
         """Claim up to ``limit`` pending jobs (work-stealing scan).
 
         ``settled`` is an optional caller-owned memo of keys known to be
-        done or failed: those states are sticky, so jobs in it are
-        skipped without touching the filesystem, and jobs newly observed
-        settled during this scan are added to it.  Without the memo,
-        every scan re-reads every completed result envelope — quadratic
-        I/O over a long campaign.
+        done or *terminally* failed: those states are sticky, so jobs in
+        it are skipped without touching the filesystem, and jobs newly
+        observed settled during this scan are added to it.  Without the
+        memo, every scan re-reads every completed result envelope —
+        quadratic I/O over a long campaign.
+
+        ``max_attempts`` (see :meth:`try_lease`) turns failed jobs with
+        remaining attempts back into leasable work; only a failure at
+        the attempt cap settles.
         """
         batch: list[tuple[ManifestJob, JobLease]] = []
         for job in self.unique:
@@ -365,14 +398,31 @@ class CampaignManifest:
                 break
             if settled is not None and job.key in settled:
                 continue
-            if self.is_done(job.key) or self.is_failed(job.key):
+            if self.is_done(job.key):
                 if settled is not None:
                     settled.add(job.key)
                 continue
-            lease = self.try_lease(job.key, worker, ttl)
+            failure: object = self._UNREAD
+            if self.is_failed(job.key):
+                failure = self.read_failure(job.key)
+                if not self._has_attempts_left(failure, max_attempts):
+                    if settled is not None:
+                        settled.add(job.key)
+                    continue
+            lease = self.try_lease(job.key, worker, ttl, max_attempts,
+                                   _failure=failure)
             if lease is not None:
                 batch.append((job, lease))
         return batch
+
+    @staticmethod
+    def _has_attempts_left(failure: JobFailure | None,
+                           max_attempts: int) -> bool:
+        """The one retry-policy predicate: a failed job is re-leasable
+        exactly when its envelope is readable and records fewer than
+        ``max_attempts`` attempts (an unreadable envelope is terminal —
+        its attempt count is unknowable, so it is never auto-retried)."""
+        return failure is not None and failure.attempt < max_attempts
 
     def release(self, key: str, lease: JobLease | None = None) -> None:
         """Drop the lease on ``key`` (after its result or failure
@@ -400,15 +450,20 @@ class CampaignManifest:
                        attempt=attempt)))
         os.replace(tmp, path)
 
+    def read_failure(self, key: str) -> JobFailure | None:
+        """The failure envelope on ``key``, or None."""
+        try:
+            payload = json.loads(self._failure_path(key).read_text())
+            failure = record_from_dict(payload)
+        except (OSError, ValueError, KeyError):
+            return None
+        return failure if isinstance(failure, JobFailure) else None
+
     def failures(self) -> list[JobFailure]:
         out = []
         for job in self.unique:
-            try:
-                payload = json.loads(self._failure_path(job.key).read_text())
-                failure = record_from_dict(payload)
-            except (OSError, ValueError, KeyError):
-                continue
-            if isinstance(failure, JobFailure):
+            failure = self.read_failure(job.key)
+            if failure is not None:
                 out.append(failure)
         return out
 

@@ -36,12 +36,18 @@ import os
 import socket
 from dataclasses import dataclass, field
 
-from repro.harness.campaign import CampaignEngine, CampaignResult, execute_job
+from repro.harness.campaign import (
+    TRACE_STORE_DIRNAME,
+    CampaignEngine,
+    CampaignResult,
+    execute_job,
+)
 from repro.harness.manifest import (
     DEFAULT_LEASE_TTL,
     CampaignManifest,
     ManifestJob,
 )
+from repro.workloads.suite import configure_trace_store
 
 #: Default jobs claimed per lease scan: big enough to amortise the scan,
 #: small enough that a crashed worker strands little work.
@@ -85,16 +91,26 @@ class CampaignWorker:
     def __init__(self, manifest: CampaignManifest,
                  worker_id: str | None = None,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
-                 batch_size: int = DEFAULT_BATCH) -> None:
+                 batch_size: int = DEFAULT_BATCH,
+                 max_attempts: int = 1) -> None:
         self.manifest = manifest
         self.worker_id = worker_id or default_worker_id()
         self.lease_ttl = float(lease_ttl)
         self.batch_size = max(1, int(batch_size))
-        #: keys this worker knows are done or failed (sticky states), so
-        #: lease scans stop re-reading their envelopes
+        #: bounded automatic re-lease of failed jobs: a job may be
+        #: executed up to this many times before its failure is terminal
+        #: (1 = today's manual-retry-only behaviour)
+        self.max_attempts = max(1, int(max_attempts))
+        #: keys this worker knows are done or terminally failed (sticky
+        #: states), so lease scans stop re-reading their envelopes
         self._settled: set[str] = set()
+        # clean traces come from the manifest's shared golden-trace
+        # store: the first worker to need a benchmark executes and
+        # publishes it, everyone else forks the stored columns
+        configure_trace_store(manifest.root / TRACE_STORE_DIRNAME)
 
     def _run_one(self, job: ManifestJob, lease, stats: WorkerStats) -> None:
+        settled = True
         try:
             if self.manifest.is_done(job.key):
                 stats.skipped += 1
@@ -107,11 +123,16 @@ class CampaignWorker:
                     job.key, self.worker_id, f"{type(err).__name__}: {err}",
                     attempt=lease.attempt)
                 stats.failed += 1
+                # below the attempt cap the failure is not sticky: leave
+                # the job scannable so some worker (maybe this one)
+                # re-leases it with the next attempt number
+                settled = lease.attempt >= self.max_attempts
             else:
                 self.manifest.cache.put(job.key, record)
                 stats.executed += 1
         finally:
-            self._settled.add(job.key)
+            if settled:
+                self._settled.add(job.key)
             # ownership-checked: if we overran our TTL and were reaped,
             # this leaves the rescuer's live lease alone
             self.manifest.release(job.key, lease)
@@ -132,7 +153,7 @@ class CampaignWorker:
                 limit = min(limit, max_jobs - claimed)
             batch = self.manifest.lease_batch(
                 self.worker_id, self.lease_ttl, limit,
-                settled=self._settled)
+                settled=self._settled, max_attempts=self.max_attempts)
             if not batch:
                 break
             stats.batches += 1
@@ -161,22 +182,26 @@ def collect(manifest: CampaignManifest, workers: int = 1) -> CampaignResult:
     slots = (manifest.slots if not failed else
              [spec for key, spec in zip(manifest.keys, manifest.slots)
               if key not in failed])
-    engine = CampaignEngine(workers=workers, cache_dir=manifest.cache.root)
+    engine = CampaignEngine(
+        workers=workers, cache_dir=manifest.cache.root,
+        trace_store_dir=manifest.root / TRACE_STORE_DIRNAME)
     return engine.run(slots)
 
 
 def _worker_entry(root: str, lease_ttl: float, batch_size: int,
-                  queue) -> None:
+                  max_attempts: int, queue) -> None:
     """Child-process entry point of :func:`run_campaign`."""
     manifest = CampaignManifest.load(root)
     stats = CampaignWorker(manifest, lease_ttl=lease_ttl,
-                           batch_size=batch_size).run()
+                           batch_size=batch_size,
+                           max_attempts=max_attempts).run()
     queue.put(stats.as_dict())
 
 
 def run_campaign(manifest: CampaignManifest, processes: int = 1,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  batch_size: int = DEFAULT_BATCH,
+                 max_attempts: int = 1,
                  ) -> tuple[CampaignResult, WorkerStats]:
     """Drive ``manifest`` to completion with ``processes`` local workers
     and return the merged result plus the run's *aggregated* stats
@@ -191,13 +216,15 @@ def run_campaign(manifest: CampaignManifest, processes: int = 1,
     children = [
         multiprocessing.Process(
             target=_worker_entry,
-            args=(str(manifest.root), lease_ttl, batch_size, queue))
+            args=(str(manifest.root), lease_ttl, batch_size, max_attempts,
+                  queue))
         for _ in range(max(1, int(processes)) - 1)
     ]
     for child in children:
         child.start()
     stats = CampaignWorker(manifest, lease_ttl=lease_ttl,
-                           batch_size=batch_size).run()
+                           batch_size=batch_size,
+                           max_attempts=max_attempts).run()
     for child in children:
         child.join()
     while not queue.empty():  # a crashed child simply contributes nothing

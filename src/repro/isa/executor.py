@@ -9,6 +9,19 @@ The :class:`Machine` implements the ISA semantics once, with pluggable
 * the **checker replay** (:mod:`repro.detection.checker`), which plugs in
   ports that consume the load-store log and validate against it.
 
+Dispatch is **pre-decoded**: :func:`repro.isa.program.predecode` lowers
+every static instruction into a flat record, and :func:`bound_handlers`
+binds one specialised step closure per record (operands, fall-through
+successor, and x0-drop behaviour are resolved once per program).  The
+step loop is then a single indexed call per instruction — no opcode
+inspection, no operand-field tests.
+
+The committed trace is **columnar** (structure of arrays): parallel
+columns for pc, writebacks, branch outcome, and a CSR-indexed block of
+memory-operation columns (kind/addr/value/used_value), behind a thin
+row-view accessor (:attr:`Trace.instructions`) for callers that want the
+classic one-object-per-instruction shape.
+
 Integer registers hold 64-bit unsigned bit patterns; FP registers hold
 Python floats (IEEE-754 doubles).  All memory traffic is in 64-bit bit
 patterns, so FP data round-trips exactly and all comparisons the detection
@@ -18,19 +31,21 @@ hardware performs are bit-exact, as they would be in silicon.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from array import array
+from functools import partial
 from typing import Callable
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import AssemblyError, ExecutionError
 from repro.isa.instructions import (
     MASK64,
     NUM_FP_REGS,
     NUM_INT_REGS,
     Opcode,
     to_signed,
+    uop_count,
 )
 from repro.isa.memory_image import MemoryImage, bits_to_float, float_to_bits
-from repro.isa.program import Program
+from repro.isa.program import DecodedInstr, HANDLER_OPS, Program, predecode
 
 # MemOp kinds
 LOAD = 0
@@ -60,50 +75,6 @@ class MemOp:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = {LOAD: "LOAD", STORE: "STORE", NONDET: "NONDET"}[self.kind]
         return f"MemOp({kind}, addr={self.addr:#x}, value={self.value:#x})"
-
-
-class DynInstr:
-    """One committed dynamic instruction in the main-core trace."""
-
-    __slots__ = ("seq", "pc", "op", "dsts", "mem", "taken", "next_pc")
-
-    def __init__(self, seq: int, pc: int, op: Opcode,
-                 dsts: tuple, mem: tuple, taken: bool | None, next_pc: int):
-        self.seq = seq
-        self.pc = pc
-        self.op = op
-        #: tuple of (is_fp, reg_index, value) writebacks
-        self.dsts = dsts
-        #: tuple of MemOp
-        self.mem = mem
-        self.taken = taken
-        self.next_pc = next_pc
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DynInstr(seq={self.seq}, pc={self.pc}, op={self.op.value})"
-
-
-@dataclass
-class Trace:
-    """The committed execution of a program on the main core."""
-
-    program: Program
-    instructions: list[DynInstr]
-    final_xregs: list[int]
-    final_fregs: list[float]
-    memory: MemoryImage
-    halted: bool
-    #: total micro-ops (macro-ops counted by their crack factor)
-    uop_count: int = 0
-    load_count: int = 0
-    store_count: int = 0
-    #: True when an injected fault made the program trap (unaligned
-    #: access, runaway control flow): the trace ends at the last commit
-    #: and §IV-H's held-back termination applies
-    crashed: bool = False
-
-    def __len__(self) -> int:
-        return len(self.instructions)
 
 
 def _div(a: int, b: int) -> int:
@@ -154,6 +125,692 @@ def _f2i(a: float) -> int:
     return int(a) & MASK64
 
 
+# -- bound step handlers ------------------------------------------------------
+#
+# Each factory receives one DecodedInstr and returns a closure
+# ``run(machine) -> (dsts, mem, taken)`` with every operand (and the
+# fall-through pc) captured as a local.  ``mem`` entries are plain
+# ``(kind, addr, value, used_value)`` tuples — the executor's raw wire
+# format; :class:`MemOp` objects exist only in the row-view layer.
+#
+# x0 semantics are specialised at bind time: an integer destination of
+# x0 is neither written nor recorded (architecturally invisible), which
+# reproduces the old step loop's drop rule exactly.
+
+def _make_int_rr(fn, d: DecodedInstr):
+    rd, rs1, rs2, nxt = d.rd, d.rs1, d.rs2, d.pc + 1
+    if rd:
+        def run(m):
+            x = m.xregs
+            value = fn(x[rs1], x[rs2])
+            x[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_int_ri(fn, d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+    imm = int(d.imm)
+    if rd:
+        def run(m):
+            x = m.xregs
+            value = fn(x[rs1], imm)
+            x[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_addi(d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+    imm = int(d.imm)
+    if rd:
+        def run(m):
+            x = m.xregs
+            value = (x[rs1] + imm) & MASK64
+            x[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_add(d: DecodedInstr):
+    rd, rs1, rs2, nxt = d.rd, d.rs1, d.rs2, d.pc + 1
+    if rd:
+        def run(m):
+            x = m.xregs
+            value = (x[rs1] + x[rs2]) & MASK64
+            x[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_sub(d: DecodedInstr):
+    rd, rs1, rs2, nxt = d.rd, d.rs1, d.rs2, d.pc + 1
+    if rd:
+        def run(m):
+            x = m.xregs
+            value = (x[rs1] - x[rs2]) & MASK64
+            x[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_movi(d: DecodedInstr):
+    rd, nxt = d.rd, d.pc + 1
+    value = int(d.imm) & MASK64
+    dsts = ((False, rd, value),) if rd else ()
+
+    def run(m):
+        if rd:
+            m.xregs[rd] = value
+        m.pc = nxt
+        return dsts, (), None
+    return run
+
+
+def _make_ld(d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+    imm = int(d.imm)
+    if rd:
+        def run(m):
+            x = m.xregs
+            addr, bits = m.load_port((x[rs1] + imm) & MASK64)
+            x[rd] = bits
+            m.pc = nxt
+            return ((False, rd, bits),), ((LOAD, addr, bits, bits),), None
+    else:
+        def run(m):
+            addr, bits = m.load_port((m.xregs[rs1] + imm) & MASK64)
+            m.pc = nxt
+            return (), ((LOAD, addr, bits, bits),), None
+    return run
+
+
+def _make_st(d: DecodedInstr):
+    rs1, rs2, nxt = d.rs1, d.rs2, d.pc + 1
+    imm = int(d.imm)
+
+    def run(m):
+        x = m.xregs
+        addr, value = m.store_port((x[rs1] + imm) & MASK64, x[rs2])
+        m.pc = nxt
+        return (), ((STORE, addr, value, value),), None
+    return run
+
+
+def _make_fld(d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+    imm = int(d.imm)
+
+    def run(m):
+        addr, bits = m.load_port((m.xregs[rs1] + imm) & MASK64)
+        value = bits_to_float(bits)
+        m.fregs[rd] = value
+        m.pc = nxt
+        return ((True, rd, value),), ((LOAD, addr, bits, bits),), None
+    return run
+
+
+def _make_fst(d: DecodedInstr):
+    rs1, rs2, nxt = d.rs1, d.rs2, d.pc + 1
+    imm = int(d.imm)
+
+    def run(m):
+        addr, bits = m.store_port((m.xregs[rs1] + imm) & MASK64,
+                                  float_to_bits(m.fregs[rs2]))
+        m.pc = nxt
+        return (), ((STORE, addr, bits, bits),), None
+    return run
+
+
+def _make_ldp(d: DecodedInstr):
+    rd, rd2, rs1, nxt = d.rd, d.rd2, d.rs1, d.pc + 1
+    imm = int(d.imm)
+
+    def run(m):
+        x = m.xregs
+        addr = (x[rs1] + imm) & MASK64
+        addr2 = (addr + 8) & MASK64
+        addr, bits1 = m.load_port(addr)
+        addr2, bits2 = m.load_port(addr2)
+        if rd:
+            x[rd] = bits1
+        if rd2:
+            x[rd2] = bits2
+        m.pc = nxt
+        if rd and rd2:
+            dsts = ((False, rd, bits1), (False, rd2, bits2))
+        elif rd:
+            dsts = ((False, rd, bits1),)
+        elif rd2:
+            dsts = ((False, rd2, bits2),)
+        else:
+            dsts = ()
+        return dsts, ((LOAD, addr, bits1, bits1),
+                      (LOAD, addr2, bits2, bits2)), None
+    return run
+
+
+def _make_stp(d: DecodedInstr):
+    rs1, rs2, rs3, nxt = d.rs1, d.rs2, d.rs3, d.pc + 1
+    imm = int(d.imm)
+
+    def run(m):
+        x = m.xregs
+        addr = (x[rs1] + imm) & MASK64
+        addr2 = (addr + 8) & MASK64
+        addr, v1 = m.store_port(addr, x[rs2])
+        addr2, v2 = m.store_port(addr2, x[rs3])
+        m.pc = nxt
+        return (), ((STORE, addr, v1, v1), (STORE, addr2, v2, v2)), None
+    return run
+
+
+def _make_branch(cmp, d: DecodedInstr):
+    rs1, rs2, target, nxt = d.rs1, d.rs2, d.target, d.pc + 1
+
+    def run(m):
+        x = m.xregs
+        if cmp(x[rs1], x[rs2]):
+            m.pc = target
+            return (), (), True
+        m.pc = nxt
+        return (), (), False
+    return run
+
+
+def _make_j(d: DecodedInstr):
+    target = d.target
+
+    def run(m):
+        m.pc = target
+        return (), (), True
+    return run
+
+
+def _make_jal(d: DecodedInstr):
+    rd, target = d.rd, d.target
+    link = (d.pc + 1) & MASK64
+    dsts = ((False, rd, link),) if rd else ()
+
+    def run(m):
+        if rd:
+            m.xregs[rd] = link
+        m.pc = target
+        return dsts, (), True
+    return run
+
+
+def _make_jalr(d: DecodedInstr):
+    rd, rs1 = d.rd, d.rs1
+    imm = int(d.imm)
+    link = (d.pc + 1) & MASK64
+    dsts = ((False, rd, link),) if rd else ()
+
+    def run(m):
+        x = m.xregs
+        next_pc = (x[rs1] + imm) & MASK64
+        if rd:
+            x[rd] = link
+        m.pc = next_pc
+        return dsts, (), True
+    return run
+
+
+def _make_halt(d: DecodedInstr):
+    def run(m):
+        m.halted = True
+        return (), (), None
+    return run
+
+
+def _make_nop(d: DecodedInstr):
+    nxt = d.pc + 1
+
+    def run(m):
+        m.pc = nxt
+        return (), (), None
+    return run
+
+
+def _make_nondet(op, d: DecodedInstr):
+    rd, nxt = d.rd, d.pc + 1
+    if rd:
+        def run(m):
+            value = m.nondet_port(op) & MASK64
+            m.xregs[rd] = value
+            m.pc = nxt
+            return (((False, rd, value),),
+                    ((NONDET, 0, value, value),), None)
+    else:
+        def run(m):
+            value = m.nondet_port(op) & MASK64
+            m.pc = nxt
+            return (), ((NONDET, 0, value, value),), None
+    return run
+
+
+def _make_fp_bin(fn, d: DecodedInstr):
+    rd, rs1, rs2, nxt = d.rd, d.rs1, d.rs2, d.pc + 1
+
+    def run(m):
+        f = m.fregs
+        value = fn(f[rs1], f[rs2])
+        f[rd] = value
+        m.pc = nxt
+        return ((True, rd, value),), (), None
+    return run
+
+
+def _make_fmadd(d: DecodedInstr):
+    rd, rs1, rs2, rs3, nxt = d.rd, d.rs1, d.rs2, d.rs3, d.pc + 1
+
+    def run(m):
+        f = m.fregs
+        value = f[rs1] * f[rs2] + f[rs3]
+        f[rd] = value
+        m.pc = nxt
+        return ((True, rd, value),), (), None
+    return run
+
+
+def _make_fp_un(fn, d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+
+    def run(m):
+        f = m.fregs
+        value = fn(f[rs1])
+        f[rd] = value
+        m.pc = nxt
+        return ((True, rd, value),), (), None
+    return run
+
+
+def _make_fmovi(d: DecodedInstr):
+    rd, nxt = d.rd, d.pc + 1
+    value = float(d.imm)
+    dsts = ((True, rd, value),)
+
+    def run(m):
+        m.fregs[rd] = value
+        m.pc = nxt
+        return dsts, (), None
+    return run
+
+
+def _make_i2f(d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+
+    def run(m):
+        value = float(to_signed(m.xregs[rs1]))
+        m.fregs[rd] = value
+        m.pc = nxt
+        return ((True, rd, value),), (), None
+    return run
+
+
+def _make_f2i(d: DecodedInstr):
+    rd, rs1, nxt = d.rd, d.rs1, d.pc + 1
+    if rd:
+        def run(m):
+            value = _f2i(m.fregs[rs1])
+            m.xregs[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+def _make_fcmp(fn, d: DecodedInstr):
+    rd, rs1, rs2, nxt = d.rd, d.rs1, d.rs2, d.pc + 1
+    if rd:
+        def run(m):
+            f = m.fregs
+            value = fn(f[rs1], f[rs2])
+            m.xregs[rd] = value
+            m.pc = nxt
+            return ((False, rd, value),), (), None
+    else:
+        def run(m):
+            m.pc = nxt
+            return (), (), None
+    return run
+
+
+_FACTORIES: dict[Opcode, Callable[[DecodedInstr], Callable]] = {
+    Opcode.ADD: _make_add,
+    Opcode.SUB: _make_sub,
+    Opcode.AND: partial(_make_int_rr, lambda a, b: a & b),
+    Opcode.OR: partial(_make_int_rr, lambda a, b: a | b),
+    Opcode.XOR: partial(_make_int_rr, lambda a, b: a ^ b),
+    Opcode.SLL: partial(_make_int_rr, lambda a, b: (a << (b & 63)) & MASK64),
+    Opcode.SRL: partial(_make_int_rr, lambda a, b: a >> (b & 63)),
+    Opcode.SRA: partial(_make_int_rr,
+                        lambda a, b: (to_signed(a) >> (b & 63)) & MASK64),
+    Opcode.SLT: partial(_make_int_rr,
+                        lambda a, b: 1 if to_signed(a) < to_signed(b) else 0),
+    Opcode.SLTU: partial(_make_int_rr, lambda a, b: 1 if a < b else 0),
+    Opcode.MUL: partial(_make_int_rr, lambda a, b: (a * b) & MASK64),
+    Opcode.DIV: partial(_make_int_rr, _div),
+    Opcode.REM: partial(_make_int_rr, _rem),
+    Opcode.ADDI: _make_addi,
+    Opcode.ANDI: partial(_make_int_ri, lambda a, i: a & (i & MASK64)),
+    Opcode.ORI: partial(_make_int_ri, lambda a, i: a | (i & MASK64)),
+    Opcode.XORI: partial(_make_int_ri, lambda a, i: a ^ (i & MASK64)),
+    Opcode.SLLI: partial(_make_int_ri, lambda a, i: (a << (i & 63)) & MASK64),
+    Opcode.SRLI: partial(_make_int_ri, lambda a, i: a >> (i & 63)),
+    Opcode.SRAI: partial(_make_int_ri,
+                         lambda a, i: (to_signed(a) >> (i & 63)) & MASK64),
+    Opcode.SLTI: partial(_make_int_ri,
+                         lambda a, i: 1 if to_signed(a) < i else 0),
+    Opcode.MOVI: _make_movi,
+    Opcode.LD: _make_ld,
+    Opcode.ST: _make_st,
+    Opcode.LDP: _make_ldp,
+    Opcode.STP: _make_stp,
+    Opcode.FLD: _make_fld,
+    Opcode.FST: _make_fst,
+    Opcode.FADD: partial(_make_fp_bin, lambda a, b: a + b),
+    Opcode.FSUB: partial(_make_fp_bin, lambda a, b: a - b),
+    Opcode.FMUL: partial(_make_fp_bin, lambda a, b: a * b),
+    Opcode.FDIV: partial(_make_fp_bin, _fdiv),
+    Opcode.FMIN: partial(_make_fp_bin,
+                         lambda a, b: b if (math.isnan(a) or b < a) else a),
+    Opcode.FMAX: partial(_make_fp_bin,
+                         lambda a, b: b if (math.isnan(a) or b > a) else a),
+    Opcode.FMADD: _make_fmadd,
+    Opcode.FSQRT: partial(_make_fp_un, _fsqrt),
+    Opcode.FNEG: partial(_make_fp_un, lambda a: -a),
+    Opcode.FABS: partial(_make_fp_un, abs),
+    Opcode.FMOV: partial(_make_fp_un, lambda a: a),
+    Opcode.FMOVI: _make_fmovi,
+    Opcode.FCVT_I2F: _make_i2f,
+    Opcode.FCVT_F2I: _make_f2i,
+    Opcode.FCMPLT: partial(_make_fcmp, lambda a, b: 1 if a < b else 0),
+    Opcode.FCMPLE: partial(_make_fcmp, lambda a, b: 1 if a <= b else 0),
+    Opcode.FCMPEQ: partial(_make_fcmp, lambda a, b: 1 if a == b else 0),
+    Opcode.BEQ: partial(_make_branch, lambda a, b: a == b),
+    Opcode.BNE: partial(_make_branch, lambda a, b: a != b),
+    Opcode.BLT: partial(_make_branch,
+                        lambda a, b: to_signed(a) < to_signed(b)),
+    Opcode.BGE: partial(_make_branch,
+                        lambda a, b: to_signed(a) >= to_signed(b)),
+    Opcode.BLTU: partial(_make_branch, lambda a, b: a < b),
+    Opcode.BGEU: partial(_make_branch, lambda a, b: a >= b),
+    Opcode.J: _make_j,
+    Opcode.JAL: _make_jal,
+    Opcode.JALR: _make_jalr,
+    Opcode.HALT: _make_halt,
+    Opcode.NOP: _make_nop,
+    Opcode.RDRAND: partial(_make_nondet, Opcode.RDRAND),
+    Opcode.RDCYCLE: partial(_make_nondet, Opcode.RDCYCLE),
+}
+
+#: Factory table indexed by the pre-decoder's dense handler index.
+_FACTORY_TABLE = tuple(_FACTORIES[op] for op in HANDLER_OPS)
+
+
+def bound_handlers(program: Program) -> tuple:
+    """One specialised step closure per static instruction of ``program``
+    (bound once per program; every :class:`Machine` over it shares them)."""
+    cached = getattr(program, "_bound_handlers", None)
+    if cached is None:
+        table = _FACTORY_TABLE
+        cached = tuple(table[d.hidx](d) for d in predecode(program))
+        object.__setattr__(program, "_bound_handlers", cached)
+    return cached
+
+
+def _uops_by_pc(program: Program) -> tuple[int, ...]:
+    """Per-pc micro-op counts (cached on the program)."""
+    cached = getattr(program, "_uops_by_pc", None)
+    if cached is None:
+        cached = tuple(uop_count(i.op) for i in program.instructions)
+        object.__setattr__(program, "_uops_by_pc", cached)
+    return cached
+
+
+# -- the columnar trace -------------------------------------------------------
+
+class DynInstr:
+    """Row view over one committed instruction of a columnar :class:`Trace`.
+
+    Materialises the classic per-instruction record shape (``seq``, ``pc``,
+    ``op``, ``dsts``, ``mem``, ``taken``, ``next_pc``) on demand from the
+    trace's columns; hot-path consumers iterate the columns directly and
+    never build these.
+    """
+
+    __slots__ = ("_trace", "seq")
+
+    def __init__(self, trace: "Trace", seq: int) -> None:
+        self._trace = trace
+        self.seq = seq
+
+    @property
+    def pc(self) -> int:
+        return self._trace.pcs[self.seq]
+
+    @property
+    def op(self) -> Opcode:
+        trace = self._trace
+        return trace.program.instructions[trace.pcs[self.seq]].op
+
+    @property
+    def dsts(self) -> tuple:
+        return self._trace.dsts[self.seq]
+
+    @property
+    def mem(self) -> tuple:
+        trace = self._trace
+        lo, hi = trace.mem_off[self.seq], trace.mem_off[self.seq + 1]
+        return tuple(
+            MemOp(trace.mem_kind[j], trace.mem_addr[j], trace.mem_value[j],
+                  trace.mem_used[j])
+            for j in range(lo, hi))
+
+    @property
+    def taken(self) -> bool | None:
+        code = self._trace.takens[self.seq]
+        return None if code < 0 else bool(code)
+
+    @property
+    def next_pc(self) -> int:
+        return self._trace.next_pc_of(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynInstr(seq={self.seq}, pc={self.pc}, op={self.op.value})"
+
+
+class _RowSeq:
+    """Sequence facade over a trace's rows (supports index, slice, iter)."""
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "Trace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace.pcs)
+
+    def __getitem__(self, index):
+        trace = self._trace
+        n = len(trace.pcs)
+        if isinstance(index, slice):
+            return [DynInstr(trace, i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"trace row {index} out of range 0..{n - 1}")
+        return DynInstr(trace, index)
+
+    def __iter__(self):
+        trace = self._trace
+        for seq in range(len(trace.pcs)):
+            yield DynInstr(trace, seq)
+
+
+class Trace:
+    """The committed execution of a program, stored as columns.
+
+    Structure of arrays: per-instruction columns (``pcs``, ``dsts``,
+    ``takens``) are parallel and dense in commit order (``seq`` is the row
+    index); memory operations live in flat CSR-indexed columns — row *i*'s
+    entries are ``mem_kind/addr/value/used[mem_off[i]:mem_off[i + 1]]``.
+    ``takens`` encodes -1 = not a control instruction, 0/1 = branch
+    outcome; ``next_pc`` is derived (``pcs[i + 1]``, or ``final_next_pc``
+    for the last row).  :attr:`instructions` is the thin row-view accessor
+    for consumers that want per-instruction objects.
+    """
+
+    __slots__ = (
+        "program", "pcs", "dsts", "takens",
+        "mem_off", "mem_kind", "mem_addr", "mem_value", "mem_used",
+        "final_next_pc", "final_xregs", "final_fregs", "memory", "halted",
+        "uop_count", "load_count", "store_count", "crashed", "_rows",
+    )
+
+    def __init__(self, program: Program, *, pcs, dsts, takens,
+                 mem_off, mem_kind, mem_addr, mem_value, mem_used,
+                 final_next_pc: int, final_xregs: list[int],
+                 final_fregs: list[float], memory: MemoryImage,
+                 halted: bool, uop_count: int = 0, load_count: int = 0,
+                 store_count: int = 0, crashed: bool = False) -> None:
+        self.program = program
+        self.pcs = pcs
+        self.dsts = dsts
+        self.takens = takens
+        self.mem_off = mem_off
+        self.mem_kind = mem_kind
+        self.mem_addr = mem_addr
+        self.mem_value = mem_value
+        self.mem_used = mem_used
+        self.final_next_pc = final_next_pc
+        self.final_xregs = final_xregs
+        self.final_fregs = final_fregs
+        self.memory = memory
+        self.halted = halted
+        #: total micro-ops (macro-ops counted by their crack factor)
+        self.uop_count = uop_count
+        self.load_count = load_count
+        self.store_count = store_count
+        #: True when an injected fault made the program trap (unaligned
+        #: access, runaway control flow): the trace ends at the last commit
+        #: and §IV-H's held-back termination applies
+        self.crashed = crashed
+        self._rows: _RowSeq | None = None
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def instructions(self) -> _RowSeq:
+        """Row-view accessor: ``trace.instructions[i]`` is a
+        :class:`DynInstr` over row *i* (columns stay the ground truth)."""
+        if self._rows is None:
+            self._rows = _RowSeq(self)
+        return self._rows
+
+    def next_pc_of(self, seq: int) -> int:
+        """The committed successor pc of row ``seq``."""
+        return (self.pcs[seq + 1] if seq + 1 < len(self.pcs)
+                else self.final_next_pc)
+
+    # -- bit-exact serialisation (the golden-trace store's wire format) ------
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable column dump.
+
+        Bit-exact by construction: every FP value (writebacks, final FP
+        registers) is encoded as its IEEE-754 bit pattern, so NaN payloads
+        and signed zeros survive the round trip.
+        """
+        dsts = [
+            [[1, idx, float_to_bits(value)] if is_fp else [0, idx, value]
+             for is_fp, idx, value in row]
+            for row in self.dsts
+        ]
+        return {
+            "pcs": list(self.pcs),
+            "dsts": dsts,
+            "takens": list(self.takens),
+            "mem_off": list(self.mem_off),
+            "mem_kind": list(self.mem_kind),
+            "mem_addr": list(self.mem_addr),
+            "mem_value": list(self.mem_value),
+            "mem_used": list(self.mem_used),
+            "final_next_pc": self.final_next_pc,
+            "final_xregs": list(self.final_xregs),
+            "final_fregs": [float_to_bits(v) for v in self.final_fregs],
+            "memory": sorted(self.memory.items()),
+            "halted": self.halted,
+            "uop_count": self.uop_count,
+            "load_count": self.load_count,
+            "store_count": self.store_count,
+            "crashed": self.crashed,
+        }
+
+    @classmethod
+    def from_payload(cls, program: Program, payload: dict) -> "Trace":
+        """Rebuild a trace over ``program`` from :meth:`to_payload` output."""
+        memory = MemoryImage()
+        for addr, value in payload["memory"]:
+            memory.store(addr, value)
+        dsts = [
+            tuple((True, idx, bits_to_float(value)) if is_fp
+                  else (False, idx, value)
+                  for is_fp, idx, value in row)
+            for row in payload["dsts"]
+        ]
+        return cls(
+            program,
+            pcs=array("Q", payload["pcs"]),
+            dsts=dsts,
+            takens=array("b", payload["takens"]),
+            mem_off=array("Q", payload["mem_off"]),
+            mem_kind=array("b", payload["mem_kind"]),
+            mem_addr=array("Q", payload["mem_addr"]),
+            mem_value=array("Q", payload["mem_value"]),
+            mem_used=array("Q", payload["mem_used"]),
+            final_next_pc=payload["final_next_pc"],
+            final_xregs=list(payload["final_xregs"]),
+            final_fregs=[bits_to_float(v) for v in payload["final_fregs"]],
+            memory=memory,
+            halted=payload["halted"],
+            uop_count=payload["uop_count"],
+            load_count=payload["load_count"],
+            store_count=payload["store_count"],
+            crashed=payload["crashed"],
+        )
+
+
 class Machine:
     """An architectural interpreter over a :class:`Program`.
 
@@ -170,11 +827,14 @@ class Machine:
     The detection checker substitutes ports that read and validate the
     load-store log instead of touching memory; the fault injector wraps
     the default ports to model store-queue and AGU corruption.
+
+    Stepping drives the program's pre-bound handler table: one indexed
+    closure call per instruction (see :func:`bound_handlers`).
     """
 
     __slots__ = (
         "program", "memory", "xregs", "fregs", "pc", "halted",
-        "instr_count", "load_port", "store_port", "nondet_port",
+        "instr_count", "load_port", "store_port", "nondet_port", "_steps",
     )
 
     def __init__(
@@ -196,6 +856,7 @@ class Machine:
         self.load_port = load_port if load_port is not None else self._memory_load
         self.store_port = store_port if store_port is not None else self._memory_store
         self.nondet_port = nondet_port if nondet_port is not None else self._default_nondet
+        self._steps = bound_handlers(program)
 
     def _memory_load(self, addr: int) -> tuple[int, int]:
         return addr, self.memory.load(addr)
@@ -225,182 +886,21 @@ class Machine:
 
         Returns ``(dsts, mem, taken)`` where ``dsts`` is a tuple of
         ``(is_fp, index, value)`` writebacks, ``mem`` a tuple of
-        :class:`MemOp`, and ``taken`` the branch outcome (None for
-        non-control instructions).  Advances ``self.pc``.
+        ``(kind, addr, value, used_value)`` entries, and ``taken`` the
+        branch outcome (None for non-control instructions).  Advances
+        ``self.pc``.
         """
         if self.halted:
             raise ExecutionError("machine is halted")
-        instr = self.program.fetch(self.pc)
-        op = instr.op
-        x = self.xregs
-        f = self.fregs
         pc = self.pc
-        next_pc = pc + 1
-        dsts: tuple = ()
-        mem: tuple = ()
-        taken: bool | None = None
-
-        if op is Opcode.ADDI:
-            value = (x[instr.rs1] + instr.imm) & MASK64
-            dsts = ((False, instr.rd, value),)
-        elif op is Opcode.ADD:
-            value = (x[instr.rs1] + x[instr.rs2]) & MASK64
-            dsts = ((False, instr.rd, value),)
-        elif op is Opcode.SUB:
-            value = (x[instr.rs1] - x[instr.rs2]) & MASK64
-            dsts = ((False, instr.rd, value),)
-        elif op is Opcode.LD:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr, bits = self.load_port(addr)
-            mem = (MemOp(LOAD, addr, bits),)
-            dsts = ((False, instr.rd, bits),)
-        elif op is Opcode.ST:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr, value = self.store_port(addr, x[instr.rs2])
-            mem = (MemOp(STORE, addr, value),)
-        elif op in _BRANCH_HANDLERS:
-            taken = _BRANCH_HANDLERS[op](x[instr.rs1], x[instr.rs2])
-            if taken:
-                next_pc = instr.target
-        elif op is Opcode.MOVI:
-            dsts = ((False, instr.rd, int(instr.imm) & MASK64),)
-        elif op is Opcode.FLD:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr, bits = self.load_port(addr)
-            mem = (MemOp(LOAD, addr, bits),)
-            dsts = ((True, instr.rd, bits_to_float(bits)),)
-        elif op is Opcode.FST:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr, bits = self.store_port(addr, float_to_bits(f[instr.rs2]))
-            mem = (MemOp(STORE, addr, bits),)
-        elif op is Opcode.LDP:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr2 = (addr + 8) & MASK64
-            addr, bits1 = self.load_port(addr)
-            addr2, bits2 = self.load_port(addr2)
-            mem = (MemOp(LOAD, addr, bits1), MemOp(LOAD, addr2, bits2))
-            dsts = ((False, instr.rd, bits1), (False, instr.rd2, bits2))
-        elif op is Opcode.STP:
-            addr = (x[instr.rs1] + instr.imm) & MASK64
-            addr2 = (addr + 8) & MASK64
-            addr, v1 = self.store_port(addr, x[instr.rs2])
-            addr2, v2 = self.store_port(addr2, x[instr.rs3])
-            mem = (MemOp(STORE, addr, v1), MemOp(STORE, addr2, v2))
-        elif op in _INT_RR_HANDLERS:
-            value = _INT_RR_HANDLERS[op](x[instr.rs1], x[instr.rs2])
-            dsts = ((False, instr.rd, value),)
-        elif op in _INT_RI_HANDLERS:
-            value = _INT_RI_HANDLERS[op](x[instr.rs1], int(instr.imm))
-            dsts = ((False, instr.rd, value),)
-        elif op in _FP_BIN_HANDLERS:
-            value = _FP_BIN_HANDLERS[op](f[instr.rs1], f[instr.rs2])
-            dsts = ((True, instr.rd, value),)
-        elif op is Opcode.FMADD:
-            value = f[instr.rs1] * f[instr.rs2] + f[instr.rs3]
-            dsts = ((True, instr.rd, value),)
-        elif op in _FP_UN_HANDLERS:
-            value = _FP_UN_HANDLERS[op](f[instr.rs1])
-            dsts = ((True, instr.rd, value),)
-        elif op is Opcode.FMOVI:
-            dsts = ((True, instr.rd, float(instr.imm)),)
-        elif op is Opcode.FCVT_I2F:
-            dsts = ((True, instr.rd, float(to_signed(x[instr.rs1]))),)
-        elif op is Opcode.FCVT_F2I:
-            dsts = ((False, instr.rd, _f2i(f[instr.rs1])),)
-        elif op in _FCMP_HANDLERS:
-            value = _FCMP_HANDLERS[op](f[instr.rs1], f[instr.rs2])
-            dsts = ((False, instr.rd, value),)
-        elif op is Opcode.J:
-            taken = True
-            next_pc = instr.target
-        elif op is Opcode.JAL:
-            taken = True
-            dsts = ((False, instr.rd, (pc + 1) & MASK64),)
-            next_pc = instr.target
-        elif op is Opcode.JALR:
-            taken = True
-            dsts = ((False, instr.rd, (pc + 1) & MASK64),)
-            next_pc = (x[instr.rs1] + instr.imm) & MASK64
-        elif op is Opcode.HALT:
-            self.halted = True
-            next_pc = pc
-        elif op is Opcode.NOP:
-            pass
-        elif op is Opcode.RDRAND or op is Opcode.RDCYCLE:
-            value = self.nondet_port(op) & MASK64
-            mem = (MemOp(NONDET, 0, value),)
-            dsts = ((False, instr.rd, value),)
-        else:  # pragma: no cover - the opcode table is closed
-            raise ExecutionError(f"unimplemented opcode {op}")
-
-        for is_fp, idx, value in dsts:
-            if is_fp:
-                f[idx] = value
-            elif idx != 0:
-                x[idx] = value
-        # drop x0 writebacks from the record: architecturally invisible
-        if dsts and not dsts[0][0] and any(not d[0] and d[1] == 0 for d in dsts):
-            dsts = tuple(d for d in dsts if d[0] or d[1] != 0)
-
-        self.pc = next_pc
+        try:
+            fn = self._steps[pc]
+        except IndexError:
+            raise AssemblyError(
+                f"instruction fetch out of range: pc={pc}") from None
+        out = fn(self)
         self.instr_count += 1
-        return dsts, mem, taken
-
-
-_BRANCH_HANDLERS = {
-    Opcode.BEQ: lambda a, b: a == b,
-    Opcode.BNE: lambda a, b: a != b,
-    Opcode.BLT: lambda a, b: to_signed(a) < to_signed(b),
-    Opcode.BGE: lambda a, b: to_signed(a) >= to_signed(b),
-    Opcode.BLTU: lambda a, b: a < b,
-    Opcode.BGEU: lambda a, b: a >= b,
-}
-
-_INT_RR_HANDLERS = {
-    Opcode.AND: lambda a, b: a & b,
-    Opcode.OR: lambda a, b: a | b,
-    Opcode.XOR: lambda a, b: a ^ b,
-    Opcode.SLL: lambda a, b: (a << (b & 63)) & MASK64,
-    Opcode.SRL: lambda a, b: a >> (b & 63),
-    Opcode.SRA: lambda a, b: (to_signed(a) >> (b & 63)) & MASK64,
-    Opcode.SLT: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
-    Opcode.SLTU: lambda a, b: 1 if a < b else 0,
-    Opcode.MUL: lambda a, b: (a * b) & MASK64,
-    Opcode.DIV: _div,
-    Opcode.REM: _rem,
-}
-
-_INT_RI_HANDLERS = {
-    Opcode.ANDI: lambda a, i: a & (i & MASK64),
-    Opcode.ORI: lambda a, i: a | (i & MASK64),
-    Opcode.XORI: lambda a, i: a ^ (i & MASK64),
-    Opcode.SLLI: lambda a, i: (a << (i & 63)) & MASK64,
-    Opcode.SRLI: lambda a, i: a >> (i & 63),
-    Opcode.SRAI: lambda a, i: (to_signed(a) >> (i & 63)) & MASK64,
-    Opcode.SLTI: lambda a, i: 1 if to_signed(a) < i else 0,
-}
-
-_FP_BIN_HANDLERS = {
-    Opcode.FADD: lambda a, b: a + b,
-    Opcode.FSUB: lambda a, b: a - b,
-    Opcode.FMUL: lambda a, b: a * b,
-    Opcode.FDIV: _fdiv,
-    Opcode.FMIN: lambda a, b: b if (math.isnan(a) or b < a) else a,
-    Opcode.FMAX: lambda a, b: b if (math.isnan(a) or b > a) else a,
-}
-
-_FP_UN_HANDLERS = {
-    Opcode.FSQRT: _fsqrt,
-    Opcode.FNEG: lambda a: -a,
-    Opcode.FABS: abs,
-    Opcode.FMOV: lambda a: a,
-}
-
-_FCMP_HANDLERS = {
-    Opcode.FCMPLT: lambda a, b: 1 if a < b else 0,
-    Opcode.FCMPLE: lambda a, b: 1 if a <= b else 0,
-    Opcode.FCMPEQ: lambda a, b: 1 if a == b else 0,
-}
+        return out
 
 
 #: Default cap on executed instructions, to catch runaway programs.
@@ -416,21 +916,41 @@ def execute_program(
 
     ``fault_injector`` is an optional :class:`repro.detection.faults.FaultInjector`
     applied at the architectural fault sites; ``None`` is the fault-free
-    fast path.  Returns the committed :class:`Trace`.
+    fast path.  Returns the committed columnar :class:`Trace`.
     """
     memory = program.initial_memory()
     machine = Machine(program, memory=memory)
-    trace: list[DynInstr] = []
-    uops = loads = stores = 0
     inject = fault_injector is not None
     if inject:
         fault_injector.attach(machine)
 
-    from repro.isa.instructions import uop_count as _uop_count
+    steps = machine._steps
+    uops_table = _uops_by_pc(program)
 
+    pcs = array("Q")
+    dsts_col: list[tuple] = []
+    takens = array("b")
+    mem_off = array("Q", (0,))
+    mem_kind = array("b")
+    mem_addr = array("Q")
+    mem_value = array("Q")
+    mem_used = array("Q")
+
+    pcs_append = pcs.append
+    dsts_append = dsts_col.append
+    takens_append = takens.append
+    off_append = mem_off.append
+    kind_append = mem_kind.append
+    addr_append = mem_addr.append
+    value_append = mem_value.append
+    used_append = mem_used.append
+
+    uops = loads = stores = 0
     crashed = False
+    seq = 0
+    entries = 0
     while not machine.halted:
-        if machine.instr_count >= max_instructions:
+        if seq >= max_instructions:
             if inject:
                 # a fault sent the program into a runaway loop: §IV-J's
                 # timeouts bound detection; the run ends here
@@ -439,9 +959,7 @@ def execute_program(
             raise ExecutionError(
                 f"{program.name}: exceeded {max_instructions} instructions "
                 f"(infinite loop?)")
-        seq = machine.instr_count
         pc = machine.pc
-        op = program.instructions[pc].op
         if inject:
             try:
                 dsts, mem, taken = fault_injector.step(machine, seq)
@@ -452,19 +970,43 @@ def execute_program(
                 crashed = True
                 break
         else:
-            dsts, mem, taken = machine.step()
-        record = DynInstr(seq, pc, op, dsts, mem, taken, machine.pc)
-        trace.append(record)
-        uops += _uop_count(op)
-        for memop in mem:
-            if memop.kind == LOAD:
-                loads += 1
-            elif memop.kind == STORE:
-                stores += 1
+            try:
+                fn = steps[pc]
+            except IndexError:
+                raise AssemblyError(
+                    f"instruction fetch out of range: pc={pc}") from None
+            dsts, mem, taken = fn(machine)
+            machine.instr_count = seq + 1
+
+        pcs_append(pc)
+        dsts_append(dsts)
+        takens_append(-1 if taken is None else (1 if taken else 0))
+        if mem:
+            for kind, addr, value, used in mem:
+                kind_append(kind)
+                addr_append(addr)
+                value_append(value)
+                used_append(used)
+                if kind == LOAD:
+                    loads += 1
+                elif kind == STORE:
+                    stores += 1
+            entries += len(mem)
+        off_append(entries)
+        uops += uops_table[pc]
+        seq += 1
 
     return Trace(
-        program=program,
-        instructions=trace,
+        program,
+        pcs=pcs,
+        dsts=dsts_col,
+        takens=takens,
+        mem_off=mem_off,
+        mem_kind=mem_kind,
+        mem_addr=mem_addr,
+        mem_value=mem_value,
+        mem_used=mem_used,
+        final_next_pc=machine.pc,
         final_xregs=list(machine.xregs),
         final_fregs=list(machine.fregs),
         memory=memory,

@@ -1,15 +1,24 @@
-"""Program representation and the programmatic builder.
+"""Program representation, the programmatic builder, and the pre-decoder.
 
 A :class:`Program` is an immutable list of static instructions plus an
 initial data image.  Workload generators construct programs through
 :class:`ProgramBuilder`, which handles labels, forward references, and data
 allocation; hand-written assembly goes through :mod:`repro.isa.assembler`
 which produces the same thing.
+
+The **pre-decode pass** (:func:`predecode`) lowers every static
+instruction into a flat :class:`DecodedInstr` dispatch record — a dense
+handler index plus fully resolved operand slots (``None`` fields become
+0, labels are already instruction indices).  The functional executor
+binds one handler per record once per program, so its step loop never
+re-inspects an :class:`~repro.isa.instructions.Opcode` or touches an
+optional operand field again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.common.errors import AssemblyError
 from repro.isa.instructions import (
@@ -57,6 +66,58 @@ for _op_name, _sig in {
 def signature(op: Opcode) -> str:
     """The operand signature string for ``op`` (see module source)."""
     return _SIGNATURES[op]
+
+
+# -- pre-decode ---------------------------------------------------------------
+
+#: Dense handler index per opcode: the executor's dispatch table is built
+#: in exactly this order, so ``HANDLER_INDEX[op]`` names its handler.
+HANDLER_OPS: tuple[Opcode, ...] = tuple(Opcode)
+HANDLER_INDEX: dict[Opcode, int] = {op: i for i, op in enumerate(HANDLER_OPS)}
+
+
+class DecodedInstr(NamedTuple):
+    """One flat pre-decoded dispatch record.
+
+    All operand slots are resolved integers (unused fields collapse to
+    0); ``target`` is -1 when the opcode has none.  ``pc`` is the record's
+    own instruction index, so handlers can be bound with their fall-through
+    successor (``pc + 1``) as a constant.
+    """
+
+    hidx: int
+    pc: int
+    rd: int
+    rs1: int
+    rs2: int
+    rs3: int
+    rd2: int
+    imm: int | float
+    target: int
+
+
+def predecode(program: "Program") -> tuple[DecodedInstr, ...]:
+    """The flat dispatch records of ``program`` (cached on the program:
+    :class:`Program` hashes by identity, so the pass runs once)."""
+    cached = getattr(program, "_decoded", None)
+    if cached is not None:
+        return cached
+    records = tuple(
+        DecodedInstr(
+            hidx=HANDLER_INDEX[instr.op],
+            pc=pc,
+            rd=instr.rd or 0,
+            rs1=instr.rs1 or 0,
+            rs2=instr.rs2 or 0,
+            rs3=instr.rs3 or 0,
+            rd2=instr.rd2 or 0,
+            imm=instr.imm,
+            target=-1 if instr.target is None else instr.target,
+        )
+        for pc, instr in enumerate(program.instructions)
+    )
+    object.__setattr__(program, "_decoded", records)
+    return records
 
 
 @dataclass(frozen=True, eq=False)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
 from repro.detection.system import DetectionRunResult, run_with_detection
-from repro.isa.executor import Machine, Trace, execute_program
+from repro.isa.executor import Machine, STORE, Trace, execute_program
 from repro.isa.program import Program
 from repro.recovery.snapshots import RecoverySnapshot, SnapshotStore
 from repro.detection.checkpoint import ArchStateTracker
@@ -50,12 +50,20 @@ def build_snapshots(trace: Trace, segment_seqs: list[int]) -> SnapshotStore:
         tracker.snapshot(trace.program.entry))
     boundaries = iter(sorted(segment_seqs))
     next_boundary = next(boundaries, None)
-    for dyn in trace.instructions:
-        if next_boundary is not None and dyn.seq == next_boundary:
-            store.take_snapshot(dyn.seq, tracker.snapshot(dyn.pc))
+    pcs = trace.pcs
+    dsts = trace.dsts
+    mem_off = trace.mem_off
+    mem_kind = trace.mem_kind
+    mem_addr = trace.mem_addr
+    mem_value = trace.mem_value
+    for i in range(len(pcs)):
+        if next_boundary is not None and i == next_boundary:
+            store.take_snapshot(i, tracker.snapshot(pcs[i]))
             next_boundary = next(boundaries, None)
-        store.apply_commit(dyn)
-        tracker.apply(dyn)
+        for j in range(mem_off[i], mem_off[i + 1]):
+            if mem_kind[j] == STORE:
+                store.apply_store(mem_addr[j], mem_value[j])
+        tracker.apply_dsts(dsts[i])
     return store
 
 
@@ -137,16 +145,17 @@ def _segment_starts(trace: Trace, config: SystemConfig) -> list[int]:
     starts = [0]
     entries = 0
     instrs = 0
-    for dyn in trace.instructions:
-        count = len(dyn.mem)
+    mem_off = trace.mem_off
+    for i in range(len(trace)):
+        count = mem_off[i + 1] - mem_off[i]
         if count and entries + count > capacity:
-            starts.append(dyn.seq)
+            starts.append(i)
             entries = 0
             instrs = 0
         entries += count
         instrs += 1
         if entries >= capacity or (timeout is not None and instrs >= timeout):
-            starts.append(dyn.seq + 1)
+            starts.append(i + 1)
             entries = 0
             instrs = 0
     return starts

@@ -60,9 +60,13 @@ class SnapshotStore:
         """Track one committed instruction's stores (undo-logged)."""
         for memop in dyn.mem:
             if memop.kind == STORE:
-                self._current_undo.append(
-                    (memop.addr, self.memory.load(memop.addr)))
-                self.memory.store(memop.addr, memop.value)
+                self.apply_store(memop.addr, memop.value)
+
+    def apply_store(self, addr: int, value: int) -> None:
+        """Undo-log and apply one committed store (the column-iteration
+        entry point: callers walk the trace's mem columns directly)."""
+        self._current_undo.append((addr, self.memory.load(addr)))
+        self.memory.store(addr, value)
 
     def take_snapshot(self, seq: int,
                       checkpoint: RegisterCheckpoint) -> RecoverySnapshot:

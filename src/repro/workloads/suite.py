@@ -7,17 +7,27 @@ scales:
 * ``default`` — tens of thousands of dynamic instructions, used by the
   benchmark harness to regenerate the paper's figures in reasonable time.
 
-Traces are cached per (name, scale): the functional execution is identical
-across timing configurations, so parameter sweeps re-time the same trace.
+Clean traces are cached at two levels.  A per-process memo keeps repeated
+jobs on the same benchmark free within one worker, exactly as before.
+Above it, an optional **shared golden-trace store**
+(:class:`repro.workloads.trace_store.TraceStore`, installed with
+:func:`configure_trace_store`) makes the clean execution itself shared
+across processes and hosts: a campaign worker whose store already holds
+a benchmark's golden trace *forks* it — rebuilds the program (cheap,
+deterministic) and loads the stored columns — instead of re-running
+``execute_program``.  The campaign engine and manifest workers configure
+the store next to their run cache.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.isa.executor import Trace, execute_program
 from repro.isa.program import Program
+from repro.workloads.trace_store import TraceStore
 from repro.workloads import (
     bitcount,
     blackscholes,
@@ -101,10 +111,39 @@ BENCHMARK_ORDER = [
 ]
 
 _TRACE_CACHE: dict[tuple[str, str], Trace] = {}
+_PROGRAM_CACHE: dict[tuple[str, str], Program] = {}
+
+#: The process-wide shared golden-trace store (None = per-process only).
+_TRACE_STORE: TraceStore | None = None
+
+
+def configure_trace_store(root: str | os.PathLike | None) -> TraceStore | None:
+    """Install the process-wide golden-trace store rooted at ``root``
+    (``None`` removes it).  Returns the installed store.
+
+    Also drops the per-process trace memo when the store *changes*, so a
+    process that switches campaigns (tests, long-lived drivers) cannot
+    serve traces cached under another store's root.
+    """
+    global _TRACE_STORE
+    new = TraceStore(root) if root is not None else None
+    old_root = _TRACE_STORE.root if _TRACE_STORE is not None else None
+    new_root = new.root if new is not None else None
+    if old_root != new_root:
+        _TRACE_CACHE.clear()
+    _TRACE_STORE = new
+    return new
+
+
+def trace_store() -> TraceStore | None:
+    """The currently installed golden-trace store, if any."""
+    return _TRACE_STORE
 
 
 def build_benchmark(name: str, scale: str = "default") -> Program:
-    """Build the named benchmark's program at the given scale."""
+    """Build the named benchmark's program at the given scale (a fresh
+    program object every call; see :func:`benchmark_program` for the
+    shared one)."""
     spec = BENCHMARKS[name]
     if scale == "default":
         return spec.build_default()
@@ -113,12 +152,39 @@ def build_benchmark(name: str, scale: str = "default") -> Program:
     raise KeyError(f"unknown scale {scale!r}; use 'default' or 'small'")
 
 
-def benchmark_trace(name: str, scale: str = "default") -> Trace:
-    """The committed fault-free trace of a benchmark (cached)."""
+def benchmark_program(name: str, scale: str = "default") -> Program:
+    """The shared built program of a benchmark (memoised per process, so
+    every job on the same benchmark shares one pre-decoded, pre-bound
+    program object)."""
     key = (name, scale)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = execute_program(build_benchmark(name, scale))
-    return _TRACE_CACHE[key]
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = _PROGRAM_CACHE[key] = build_benchmark(name, scale)
+    return program
+
+
+def benchmark_trace(name: str, scale: str = "default") -> Trace:
+    """The committed fault-free trace of a benchmark.
+
+    Resolution order: per-process memo, then the shared golden-trace
+    store (bit-exact columnar envelopes), then a real execution whose
+    result is published to the store for every other worker.
+    """
+    key = (name, scale)
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return trace
+    program = benchmark_program(name, scale)
+    if _TRACE_STORE is not None:
+        store_key = _TRACE_STORE.key(name, scale, program)
+        trace = _TRACE_STORE.get(store_key, program)
+        if trace is None:
+            trace = execute_program(program)
+            _TRACE_STORE.put(store_key, trace)
+    else:
+        trace = execute_program(program)
+    _TRACE_CACHE[key] = trace
+    return trace
 
 
 def table2_rows() -> list[tuple[str, str, str]]:

@@ -1,0 +1,136 @@
+"""The shared golden-trace store: content-addressed clean executions.
+
+Every campaign job over a benchmark needs its *clean* committed trace —
+timing jobs re-time it, fault jobs compare the faulty run against it and
+re-execute its program, recovery jobs roll back to states derived from
+it.  The functional execution that produces it is a pure function of the
+built program, so it is worth computing exactly once per (benchmark,
+scale, program-content) **across all worker processes and hosts**, not
+once per process.
+
+This module stores golden traces on disk next to the campaign run cache,
+content-addressed like it::
+
+    <root>/<key[:2]>/<key>.json      {key, schema, trace} envelopes
+
+where the key hashes the benchmark name, scale, the store schema, and a
+**fingerprint of the built program** (opcodes, operands, data image,
+entry point) — so a changed workload generator can never serve a stale
+trace.  The trace payload itself is the columnar dump of
+:meth:`repro.isa.executor.Trace.to_payload`, which encodes all FP values
+as IEEE-754 bit patterns: a round trip through the store is bit-exact,
+and a campaign fed from the store is byte-identical to one that
+re-executed every clean trace.
+
+Workers *fork* the stored trace rather than re-running it: the trace's
+program (rebuilt deterministically in-process) supplies a fresh
+:meth:`~repro.isa.program.Program.initial_memory` image for faulty
+re-executions, and the columns themselves are immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+
+from repro.common.records import canonical_json
+from repro.isa.executor import Trace
+from repro.isa.memory_image import float_to_bits
+from repro.isa.program import Program
+
+#: Bump whenever the trace payload layout or execution semantics change:
+#: mismatched envelopes read as misses and are re-executed, never as
+#: silently stale traces.
+TRACE_STORE_SCHEMA = 1
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of a built program (code + data image + entry).
+
+    FP immediates hash by bit pattern so two programs differing only in
+    a NaN payload or signed zero fingerprint differently.
+    """
+    instructions = []
+    for instr in program.instructions:
+        imm = instr.imm
+        if isinstance(imm, float):
+            imm = ["f", float_to_bits(imm)]
+        instructions.append([
+            instr.op.value, instr.rd, instr.rs1, instr.rs2, instr.rs3,
+            instr.rd2, imm, instr.target,
+        ])
+    payload = {
+        "entry": program.entry,
+        "instructions": instructions,
+        "data": sorted(program.data.items()),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class TraceStore:
+    """Content-addressed on-disk store of golden (clean) traces.
+
+    Mirrors the run cache's layout and crash discipline: canonical-JSON
+    envelopes written atomically (temp file + rename), unreadable or
+    mismatched files read as misses.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key(self, benchmark: str, scale: str, program: Program) -> str:
+        """The store key of one benchmark's golden trace."""
+        description = {
+            "schema": TRACE_STORE_SCHEMA,
+            "benchmark": benchmark,
+            "scale": scale,
+            "program": program_fingerprint(program),
+        }
+        return hashlib.sha256(
+            canonical_json(description).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, program: Program) -> Trace | None:
+        """The stored golden trace for ``key``, rebuilt over ``program``
+        (the in-process program object the caller already built)."""
+        try:
+            envelope = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("key") != key
+                or envelope.get("schema") != TRACE_STORE_SCHEMA
+                or not isinstance(envelope.get("trace"), dict)):
+            self.misses += 1
+            return None
+        try:
+            trace = Trace.from_payload(program, envelope["trace"])
+        except (KeyError, TypeError, ValueError, OverflowError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace: Trace) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = canonical_json({
+            "key": key,
+            "schema": TRACE_STORE_SCHEMA,
+            "trace": trace.to_payload(),
+        })
+        # concurrent same-key writers (two workers racing on a cold
+        # store) must not trample each other's temp files
+        tmp = path.with_suffix(f".tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        tmp.write_text(envelope)
+        os.replace(tmp, path)
+        self.writes += 1

@@ -1,0 +1,197 @@
+"""Columnar-trace tests: layout invariants, bit-exact serialisation
+round-trips (the golden-trace store's wire format), and the ISA edge
+semantics pinned across the pre-decode/columnar refactor."""
+
+import json
+
+import pytest
+
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.isa.executor import (
+    LOAD,
+    NONDET,
+    STORE,
+    Trace,
+    execute_program,
+)
+from repro.isa.instructions import MASK64, Opcode
+from repro.isa.memory_image import float_to_bits
+from repro.isa.program import HANDLER_INDEX, ProgramBuilder, predecode
+from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace
+
+
+class TestPredecode:
+    def test_records_cover_program(self, rmw_program):
+        records = predecode(rmw_program)
+        assert len(records) == len(rmw_program.instructions)
+        for pc, (record, instr) in enumerate(
+                zip(records, rmw_program.instructions)):
+            assert record.pc == pc
+            assert record.hidx == HANDLER_INDEX[instr.op]
+
+    def test_operand_slots_resolved(self, rmw_program):
+        for record, instr in zip(predecode(rmw_program),
+                                 rmw_program.instructions):
+            assert record.rd == (instr.rd or 0)
+            assert record.rs1 == (instr.rs1 or 0)
+            assert record.target == (instr.target
+                                     if instr.target is not None else -1)
+
+    def test_cached_per_program(self, rmw_program):
+        assert predecode(rmw_program) is predecode(rmw_program)
+
+
+class TestColumnarLayout:
+    def test_mem_offsets_are_csr(self, rmw_trace):
+        off = rmw_trace.mem_off
+        assert off[0] == 0
+        assert len(off) == len(rmw_trace) + 1
+        assert list(off) == sorted(off)
+        assert off[-1] == len(rmw_trace.mem_kind)
+        assert (len(rmw_trace.mem_kind) == len(rmw_trace.mem_addr)
+                == len(rmw_trace.mem_value) == len(rmw_trace.mem_used))
+
+    def test_row_view_matches_columns(self, rmw_trace):
+        for i in (0, 1, 5, len(rmw_trace) - 1):
+            row = rmw_trace.instructions[i]
+            assert row.seq == i
+            assert row.pc == rmw_trace.pcs[i]
+            assert row.dsts is rmw_trace.dsts[i]
+            lo, hi = rmw_trace.mem_off[i], rmw_trace.mem_off[i + 1]
+            assert len(row.mem) == hi - lo
+            for memop, j in zip(row.mem, range(lo, hi)):
+                assert memop.kind == rmw_trace.mem_kind[j]
+                assert memop.addr == rmw_trace.mem_addr[j]
+                assert memop.value == rmw_trace.mem_value[j]
+                assert memop.used_value == rmw_trace.mem_used[j]
+
+    def test_taken_encoding(self, rmw_trace):
+        assert set(rmw_trace.takens) <= {-1, 0, 1}
+        for i, row in enumerate(rmw_trace.instructions):
+            if rmw_trace.takens[i] < 0:
+                assert row.taken is None
+            else:
+                assert row.taken is bool(rmw_trace.takens[i])
+
+    def test_counts_match_columns(self, rmw_trace):
+        kinds = list(rmw_trace.mem_kind)
+        assert rmw_trace.load_count == kinds.count(LOAD)
+        assert rmw_trace.store_count == kinds.count(STORE)
+
+    def test_row_slicing_and_negative_index(self, rmw_trace):
+        rows = rmw_trace.instructions
+        assert [r.seq for r in rows[:3]] == [0, 1, 2]
+        assert rows[-1].seq == len(rmw_trace) - 1
+        with pytest.raises(IndexError):
+            rows[len(rmw_trace)]
+
+
+def assert_traces_identical(a: Trace, b: Trace) -> None:
+    """Row-by-row equivalence in the seed (one-record-per-instruction)
+    representation, plus bit-exact final state."""
+    assert len(a) == len(b)
+    assert list(a.pcs) == list(b.pcs)
+    assert list(a.takens) == list(b.takens)
+    assert a.dsts == b.dsts
+    assert list(a.mem_off) == list(b.mem_off)
+    assert list(a.mem_kind) == list(b.mem_kind)
+    assert list(a.mem_addr) == list(b.mem_addr)
+    assert list(a.mem_value) == list(b.mem_value)
+    assert list(a.mem_used) == list(b.mem_used)
+    for ra, rb in zip(a.instructions, b.instructions):
+        assert (ra.seq, ra.pc, ra.op, ra.taken, ra.next_pc) == \
+            (rb.seq, rb.pc, rb.op, rb.taken, rb.next_pc)
+        assert ra.dsts == rb.dsts
+        assert [(m.kind, m.addr, m.value, m.used_value) for m in ra.mem] == \
+            [(m.kind, m.addr, m.value, m.used_value) for m in rb.mem]
+    assert a.final_xregs == b.final_xregs
+    assert ([float_to_bits(v) for v in a.final_fregs]
+            == [float_to_bits(v) for v in b.final_fregs])
+    assert dict(a.memory.items()) == dict(b.memory.items())
+    assert (a.halted, a.crashed, a.uop_count, a.load_count, a.store_count,
+            a.final_next_pc) == \
+        (b.halted, b.crashed, b.uop_count, b.load_count, b.store_count,
+         b.final_next_pc)
+
+
+class TestGoldenTraceEquivalence:
+    """The columnar trace must survive a full serialise→JSON→deserialise
+    round trip identically to the seed representation, on every suite
+    workload — the golden-trace store's correctness contract."""
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_round_trip_identical_on_suite(self, name):
+        trace = benchmark_trace(name, "small")
+        payload = json.loads(json.dumps(trace.to_payload()))
+        rebuilt = Trace.from_payload(trace.program, payload)
+        assert_traces_identical(trace, rebuilt)
+
+    def test_round_trip_preserves_nondet_entries(self):
+        b = ProgramBuilder("nd")
+        b.emit(Opcode.RDRAND, rd=1)
+        b.emit(Opcode.RDCYCLE, rd=2)
+        b.emit(Opcode.HALT)
+        trace = execute_program(b.build())
+        rebuilt = Trace.from_payload(
+            trace.program, json.loads(json.dumps(trace.to_payload())))
+        assert_traces_identical(trace, rebuilt)
+        assert list(rebuilt.mem_kind) == [NONDET, NONDET]
+
+
+class TestPinnedEdgeSemantics:
+    """ISA corner cases pinned across the executor refactor, observed
+    through the committed trace columns."""
+
+    def test_signed_division_overflow_wraps(self):
+        b = ProgramBuilder("divo")
+        b.emit(Opcode.MOVI, rd=1, imm=-(1 << 63))
+        b.emit(Opcode.MOVI, rd=2, imm=-1)
+        b.emit(Opcode.DIV, rd=3, rs1=1, rs2=2)
+        b.emit(Opcode.REM, rd=4, rs1=1, rs2=2)
+        b.emit(Opcode.HALT)
+        trace = execute_program(b.build())
+        assert trace.dsts[2] == ((False, 3, 1 << 63),)   # -2^63 wraps
+        assert trace.dsts[3] == ((False, 4, 0),)
+        assert trace.final_xregs[3] == 1 << 63
+
+    def test_divide_by_zero_all_ones(self):
+        b = ProgramBuilder("div0")
+        b.emit(Opcode.MOVI, rd=1, imm=42)
+        b.emit(Opcode.MOVI, rd=2, imm=0)
+        b.emit(Opcode.DIV, rd=3, rs1=1, rs2=2)
+        b.emit(Opcode.REM, rd=4, rs1=1, rs2=2)
+        b.emit(Opcode.HALT)
+        trace = execute_program(b.build())
+        assert trace.final_xregs[3] == MASK64   # RISC-V: all ones
+        assert trace.final_xregs[4] == 42       # RISC-V: dividend
+
+    def test_unaligned_access_trap_marks_trace_crashed(self):
+        # a RESULT fault flips bit 0 of the address register: the next
+        # load is unaligned, traps, and the trace ends at the last commit
+        b = ProgramBuilder("trap")
+        b.put_word(0x1000, 7)
+        b.emit(Opcode.MOVI, rd=1, imm=0x1000)
+        b.emit(Opcode.ADDI, rd=2, rs1=1, imm=0)   # seq 1: struck
+        b.emit(Opcode.LD, rd=3, rs1=2, imm=0)     # seq 2: traps
+        b.emit(Opcode.HALT)
+        injector = FaultInjector(
+            [TransientFault(FaultSite.RESULT, seq=1, bit=0)])
+        trace = execute_program(b.build(), fault_injector=injector)
+        assert injector.activations
+        assert trace.crashed
+        assert not trace.halted
+        assert len(trace) == 2                     # MOVI + ADDI committed
+        assert trace.final_next_pc == 2            # trapped at the load
+        assert trace.final_xregs[2] == 0x1001
+
+    def test_runaway_loop_under_injection_crashes(self):
+        b = ProgramBuilder("spin")
+        b.label("spin")
+        b.emit(Opcode.J, target="spin")
+        b.emit(Opcode.HALT)
+        injector = FaultInjector(
+            [TransientFault(FaultSite.RESULT, seq=5, bit=0)])
+        trace = execute_program(b.build(), fault_injector=injector,
+                                max_instructions=50)
+        assert trace.crashed
+        assert len(trace) == 50

@@ -1,0 +1,146 @@
+"""Tests for the shared content-addressed golden-trace store."""
+
+import json
+
+import pytest
+
+import repro.workloads.suite as suite
+from repro.isa.executor import execute_program
+from repro.isa.memory_image import float_to_bits
+from repro.workloads.suite import (
+    benchmark_program,
+    benchmark_trace,
+    build_benchmark,
+    configure_trace_store,
+)
+from repro.workloads.trace_store import (
+    TRACE_STORE_SCHEMA,
+    TraceStore,
+    program_fingerprint,
+)
+
+from tests.conftest import build_rmw_loop
+
+
+@pytest.fixture(autouse=True)
+def isolated_store():
+    """Every test starts and ends without a process-wide store, and with
+    an empty per-process trace memo (other modules may have warmed it)."""
+    configure_trace_store(None)
+    suite._TRACE_CACHE.clear()
+    yield
+    configure_trace_store(None)
+    suite._TRACE_CACHE.clear()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = build_benchmark("stream", "small")
+        b = build_benchmark("stream", "small")
+        assert a is not b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_differs_with_program_content(self):
+        assert program_fingerprint(build_rmw_loop(iterations=10)) != \
+            program_fingerprint(build_rmw_loop(iterations=11))
+
+    def test_differs_with_data_image(self):
+        a = build_rmw_loop(array_words=8)
+        b = build_rmw_loop(array_words=16)
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+
+class TestTraceStore:
+    def test_put_get_round_trip_bit_exact(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_benchmark("blackscholes", "small")
+        trace = execute_program(program)
+        key = store.key("blackscholes", "small", program)
+        store.put(key, trace)
+        loaded = store.get(key, program)
+        assert loaded is not None
+        assert list(loaded.pcs) == list(trace.pcs)
+        assert loaded.dsts == trace.dsts
+        assert loaded.final_xregs == trace.final_xregs
+        assert [float_to_bits(v) for v in loaded.final_fregs] == \
+            [float_to_bits(v) for v in trace.final_fregs]
+        assert dict(loaded.memory.items()) == dict(trace.memory.items())
+        assert (loaded.uop_count, loaded.load_count, loaded.store_count,
+                loaded.halted, loaded.crashed, loaded.final_next_pc) == \
+            (trace.uop_count, trace.load_count, trace.store_count,
+             trace.halted, trace.crashed, trace.final_next_pc)
+
+    def test_miss_on_empty_store(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_benchmark("stream", "small")
+        assert store.get(store.key("stream", "small", program),
+                         program) is None
+        assert store.misses == 1
+
+    def test_corrupt_envelope_reads_as_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        path = store._path(key)
+        path.write_text("{not json")
+        assert store.get(key, program) is None
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = TRACE_STORE_SCHEMA + 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(key, program) is None
+
+    def test_key_binds_program_content(self, tmp_path):
+        store = TraceStore(tmp_path)
+        a = build_rmw_loop(iterations=5)
+        b = build_rmw_loop(iterations=6)
+        assert store.key("x", "small", a) != store.key("x", "small", b)
+
+
+class TestSuiteWiring:
+    def test_benchmark_trace_publishes_to_store(self, tmp_path):
+        store = configure_trace_store(tmp_path / "traces")
+        trace = benchmark_trace("stream", "small")
+        assert store.writes == 1
+        assert len(trace) > 0
+        # the in-process memo serves repeats without touching the store
+        assert benchmark_trace("stream", "small") is trace
+        assert store.hits == 0
+
+    def test_fresh_process_forks_stored_trace(self, tmp_path, monkeypatch):
+        """With a warm store, a worker that lost its memo (a fresh
+        process) must load the golden trace instead of re-executing."""
+        root = tmp_path / "traces"
+        configure_trace_store(root)
+        original = benchmark_trace("stream", "small")
+        # simulate a fresh worker: same store, empty memo, and a tripwire
+        # that fails the test if the clean execution re-runs
+        configure_trace_store(None)
+        store = configure_trace_store(root)
+
+        def tripwire(program, *args, **kwargs):
+            raise AssertionError("clean trace was re-executed")
+
+        monkeypatch.setattr(suite, "execute_program", tripwire)
+        forked = benchmark_trace("stream", "small")
+        assert store.hits == 1
+        assert forked is not original
+        assert list(forked.pcs) == list(original.pcs)
+        assert forked.final_xregs == original.final_xregs
+        # the forked trace rides the in-process shared program object
+        assert forked.program is benchmark_program("stream", "small")
+
+    def test_store_swap_drops_process_memo(self, tmp_path):
+        configure_trace_store(tmp_path / "a")
+        first = benchmark_trace("stream", "small")
+        configure_trace_store(tmp_path / "b")
+        second = benchmark_trace("stream", "small")
+        assert first is not second
+        assert list(first.pcs) == list(second.pcs)
