@@ -1,0 +1,224 @@
+"""Fault-campaign microbenchmark: fork-point injection throughput.
+
+Measures **fault jobs per second** through the real campaign execution
+entry point (:func:`repro.harness.campaign.execute_job`) for the two
+ways a fault job can produce its faulty trace:
+
+* ``full`` — the pre-fork-path behaviour: re-execute the whole program
+  with the fault injector attached (``REPRO_FORK_INJECTION=0``);
+* ``forked`` — the fork-point path: reconstruct state at the earliest
+  fault from the golden trace's keyframes, splice the golden columnar
+  prefix, execute only from the fork seq, and let the checker verify
+  pre-fork segments by column comparison.
+
+Faults are **late-trace** (drawn from the last tenth of each workload's
+dynamic trace), the regime campaign grids spend most of their trials in
+and where the redundant prefix work is largest.  Two schemes are
+measured per workload: ``lockstep``, whose injection cost is pure
+execution (the fork path's headline win), and ``detection``, the full
+pipeline where the OoO timing model bounds the gain.
+
+The benchmark is also an **identity gate**: forked and full runs of the
+identical fault grid must produce byte-identical records, both executed
+serially and through a manifest worker (lease → execute → shared cache
+→ collect).  Any divergence fails the run before any number is printed.
+
+Emits one machine-readable ``BENCH {...}`` JSON line and supports the
+same regression gate as ``bench_executor``::
+
+    python benchmarks/bench_fault_campaign.py
+    python benchmarks/bench_fault_campaign.py --output bench.json
+    python benchmarks/bench_fault_campaign.py \
+        --check benchmarks/baselines/bench_fault_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.common.records import canonical_json
+from repro.common.rng import derive
+from repro.detection.faults import TransientFault
+from repro.harness.campaign import CAMPAIGN_SITES, JobSpec, execute_job
+from repro.harness.manifest import CampaignManifest
+from repro.harness.orchestrator import CampaignWorker, collect
+from repro.schemes.base import FORK_INJECTION_ENV
+from repro.workloads.suite import benchmark_trace, configure_trace_store
+
+#: Default measurement workloads: one memory-bound, one compute-bound.
+DEFAULT_WORKLOADS = ("stream", "bitcount")
+
+#: Schemes measured per workload (shared fault seeds, like real
+#: cross-scheme coverage grids).
+SCHEMES = ("lockstep", "detection")
+
+#: Faults are drawn from the last ``LATE_WINDOW`` of the dynamic trace.
+LATE_WINDOW = 0.1
+
+
+def late_fault_jobs(benchmark: str, scale: str, trials: int,
+                    scheme: str, seed: int = 0) -> list[JobSpec]:
+    """``trials`` late-striking fault jobs with scheme-independent seeds
+    (the same ``seed`` gives every scheme the identical fault set)."""
+    clean_len = len(benchmark_trace(benchmark, scale))
+    rng = derive(seed, f"bench-fault-campaign:{benchmark}")
+    hi = clean_len - 10
+    # clamp so short traces get *a* late window instead of an empty range
+    lo = max(10, min(int(clean_len * (1.0 - LATE_WINDOW)), hi - 1))
+    if lo >= hi:
+        raise SystemExit(
+            f"workload {benchmark!r} at scale {scale!r} commits only "
+            f"{clean_len} instructions — too short for late-trace faults")
+    jobs = []
+    for trial in range(trials):
+        site = CAMPAIGN_SITES[trial % len(CAMPAIGN_SITES)]
+        fault = TransientFault(
+            site,
+            seq=rng.randrange(lo, hi),
+            bit=rng.randrange(0, 48))
+        jobs.append(JobSpec("fault", benchmark, scale, fault=fault,
+                            scheme=scheme))
+    return jobs
+
+
+def _set_mode(forked: bool) -> None:
+    os.environ[FORK_INJECTION_ENV] = "1" if forked else "0"
+
+
+def time_jobs(specs: list[JobSpec], repeat: int) -> tuple[float, str]:
+    """Best-of-``repeat`` wall time for executing ``specs`` serially,
+    plus the canonical JSON of the records (for the identity gate)."""
+    best = float("inf")
+    records: list[dict] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        records = [execute_job(spec) for spec in specs]
+        best = min(best, time.perf_counter() - t0)
+    return best, canonical_json(records)
+
+
+def manifest_records(specs: list[JobSpec], root: Path, mode: str) -> str:
+    """Drive ``specs`` through a manifest worker; canonical merged JSON."""
+    manifest = CampaignManifest.create(root, specs)
+    CampaignWorker(manifest, worker_id=f"bench-{mode}").run()
+    return collect(manifest).records_json()
+
+
+def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
+    results: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-fault-campaign-") as tmp:
+        tmp_path = Path(tmp)
+        configure_trace_store(tmp_path / "traces")
+        for name in workloads:
+            benchmark_trace(name, scale)  # warm store + per-process memo
+            per_scheme: dict[str, dict] = {}
+            for scheme in SCHEMES:
+                specs = late_fault_jobs(name, scale, trials, scheme)
+                _set_mode(forked=False)
+                full_s, full_json = time_jobs(specs, repeat)
+                _set_mode(forked=True)
+                forked_s, forked_json = time_jobs(specs, repeat)
+                if full_json != forked_json:
+                    raise AssertionError(
+                        f"forked records diverge from full execution "
+                        f"({name}/{scheme}, serial path)")
+                per_scheme[scheme] = {
+                    "full_fps": round(trials / full_s, 1),
+                    "forked_fps": round(trials / forked_s, 1),
+                    "speedup": round(full_s / forked_s, 2),
+                }
+            results[name] = per_scheme
+
+            # manifest-worker path: same grid, one worker per mode into
+            # fresh manifest directories, merged records must match the
+            # serial runs byte for byte
+            mixed = [spec for scheme in SCHEMES
+                     for spec in late_fault_jobs(name, scale,
+                                                 max(2, trials // 2), scheme)]
+            _set_mode(forked=False)
+            via_full = manifest_records(mixed, tmp_path / f"m-full-{name}",
+                                        "full")
+            _set_mode(forked=True)
+            via_forked = manifest_records(mixed, tmp_path / f"m-fork-{name}",
+                                          "forked")
+            if via_full != via_forked:
+                raise AssertionError(
+                    f"forked records diverge from full execution "
+                    f"({name}, manifest-worker path)")
+        os.environ.pop(FORK_INJECTION_ENV, None)
+        configure_trace_store(None)
+
+    # headline numbers: the execution-bound scheme, averaged over workloads
+    lockstep = [results[name]["lockstep"] for name in results]
+    n = len(lockstep)
+    return {
+        "bench": "fault_campaign",
+        "schema": 1,
+        "scale": scale,
+        "trials": trials,
+        "repeat": repeat,
+        "workloads": results,
+        "identical_records": True,
+        "mean_full_fps": round(sum(r["full_fps"] for r in lockstep) / n, 1),
+        "mean_forked_fps": round(
+            sum(r["forked_fps"] for r in lockstep) / n, 1),
+        "mean_speedup": round(sum(r["speedup"] for r in lockstep) / n, 2),
+    }
+
+
+def check_against(payload: dict, baseline_path: str, tolerance: float) -> int:
+    """Exit status of the regression gate (0 ok, 1 regressed)."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    status = 0
+    for metric in ("mean_forked_fps", "mean_speedup"):
+        current = payload[metric]
+        reference = baseline[metric]
+        floor = reference * (1.0 - tolerance)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{metric}: {current:.2f} vs baseline {reference:.2f} "
+              f"(floor {floor:.2f}) {verdict}")
+        if current < floor:
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated suite workload names")
+    parser.add_argument("--scale", default="small",
+                        choices=["small", "default"])
+    parser.add_argument("--trials", type=int, default=12,
+                        help="fault jobs per (workload, scheme) cell")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions per cell (best is kept)")
+    parser.add_argument("--output", default=None,
+                        help="also write the BENCH payload to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed baseline JSON and "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop vs the baseline")
+    args = parser.parse_args(argv)
+
+    payload = run(args.workloads.split(","), args.scale, args.trials,
+                  args.repeat)
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    if args.check:
+        return check_against(payload, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

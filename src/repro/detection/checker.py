@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ExecutionError, ReproError
 from repro.detection.lslog import Segment
-from repro.isa.executor import LOAD, Machine, NONDET, STORE
+from repro.isa.executor import LOAD, Machine, NONDET, STORE, Trace, bound_handlers
 from repro.isa.instructions import Opcode
 from repro.isa.memory_image import MemoryImage, bits_to_float, float_to_bits
 from repro.isa.program import Program
@@ -94,15 +94,84 @@ class SegmentChecker:
     def __init__(self, program: Program,
                  checker_faults: list | None = None) -> None:
         self.program = program
+        # the program-wide handler table (memoised on the program by
+        # bound_handlers); held directly so every segment replay shares
+        # one reference instead of fetching it through its Machine
+        self._steps = bound_handlers(program)
         #: CHECKER-site TransientFaults keyed by global dynamic seq
         self._faults_by_seq: dict[int, list] = {}
         for fault in checker_faults or ():
             self._faults_by_seq.setdefault(fault.seq, []).append(fault)
+        # columnar fast-path context (fork-point fault jobs only)
+        self._trace: Trace | None = None
+        self._golden: Trace | None = None
+        self._fork_seq = 0
+
+    def bind_fork(self, trace: Trace, golden: Trace, fork_seq: int) -> None:
+        """Enable the columnar fast path for ``trace``'s pre-fork rows.
+
+        ``trace`` is the run being checked, whose rows ``[0, fork_seq)``
+        were spliced from ``golden``.  A segment lying entirely before
+        the fork seq can then be verified by a whole-slice comparison of
+        the spliced columns against the golden columns — one equality
+        sweep instead of a per-instruction Python replay.  Segments at
+        or after the fork (and any segment a CHECKER-site fault strikes)
+        keep the full replay path.
+        """
+        self._trace = trace
+        self._golden = golden
+        self._fork_seq = fork_seq
+
+    def _check_columnar(self, segment: Segment) -> CheckResult | None:
+        """The pre-fork fast path; None means \"use the replay path\".
+
+        This is still a *real comparison*, not an oracle: every column
+        the replay would reproduce (pcs, writebacks, branch outcomes,
+        the memory-operation CSR block) and every logged entry is
+        compared against the golden trace.  Any mismatch falls back to
+        the replay path, which classifies the error exactly as it would
+        have without the fast path.
+        """
+        trace, golden = self._trace, self._golden
+        start, end = segment.start_seq, segment.end_seq
+        lo, hi = trace.mem_off[start], trace.mem_off[end]
+        if (trace.pcs[start:end] != golden.pcs[start:end]
+                or trace.takens[start:end] != golden.takens[start:end]
+                or trace.dsts[start:end] != golden.dsts[start:end]
+                or trace.mem_off[start:end + 1] != golden.mem_off[start:end + 1]
+                or trace.mem_kind[lo:hi] != golden.mem_kind[lo:hi]
+                or trace.mem_addr[lo:hi] != golden.mem_addr[lo:hi]
+                or trace.mem_value[lo:hi] != golden.mem_value[lo:hi]
+                or trace.mem_used[lo:hi] != golden.mem_used[lo:hi]):
+            return None
+        entries = segment.entries
+        if len(entries) != hi - lo:
+            return None
+        mem_kind, mem_addr = golden.mem_kind, golden.mem_addr
+        mem_value = golden.mem_value
+        for k, entry in enumerate(entries):
+            j = lo + k
+            if (entry.kind != mem_kind[j] or entry.addr != mem_addr[j]
+                    or entry.value != mem_value[j]):
+                return None
+        result = CheckResult(segment_index=segment.index, ok=True)
+        pcs, takens = golden.pcs, golden.takens
+        result.steps = [(pcs[i], takens[i] == 1) for i in range(start, end)]
+        result.entries_checked = len(entries)
+        result.instructions_executed = end - start
+        return result
 
     def check(self, segment: Segment) -> CheckResult:
         """Replay ``segment`` and run every hardware comparison."""
         if not segment.closed or segment.end_checkpoint is None:
             raise ReproError("segment must be closed before checking")
+        if (self._golden is not None and segment.end_seq is not None
+                and segment.end_seq <= self._fork_seq
+                and not any(segment.start_seq <= seq < segment.end_seq
+                            for seq in self._faults_by_seq)):
+            result = self._check_columnar(segment)
+            if result is not None:
+                return result
         start = segment.start_checkpoint
         end = segment.end_checkpoint
         entries = segment.entries
@@ -179,10 +248,10 @@ class SegmentChecker:
 
         executed = 0
         global_seq = segment.start_seq
-        # drive the program's pre-bound handler table directly: the
-        # replay loop is the checker-core hot path, so it skips the
-        # step() wrapper just like the main-core executor does
-        steps = machine._steps
+        # drive the pre-bound handler table directly: the replay loop is
+        # the checker-core hot path, so it skips the step() wrapper just
+        # like the main-core executor does
+        steps = self._steps
         faults_by_seq = self._faults_by_seq
         steps_out = result.steps
         try:

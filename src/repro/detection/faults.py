@@ -111,6 +111,23 @@ class HardFault:
             raise FaultSpecError("start_seq must be non-negative")
 
 
+def earliest_fault_seq(faults: list[TransientFault | HardFault]) -> int | None:
+    """The first dynamic seq at which main-core execution can diverge
+    from the golden trace, or None when no fault touches execution.
+
+    Execution-site transients strike exactly at their ``seq``; a hard
+    fault corrupts every matching opcode from ``start_seq`` on.
+    CHECKPOINT/CHECKER faults never perturb the main core's run, so a
+    job carrying only those forks past the end of the golden trace.
+    """
+    seqs = [
+        fault.start_seq if isinstance(fault, HardFault) else fault.seq
+        for fault in faults
+        if isinstance(fault, HardFault) or fault.site in EXECUTION_SITES
+    ]
+    return min(seqs) if seqs else None
+
+
 class FaultInjector:
     """Applies fault specs during main-core functional execution.
 
@@ -124,6 +141,7 @@ class FaultInjector:
     """
 
     def __init__(self, faults: list[TransientFault | HardFault]) -> None:
+        self.faults = list(faults)
         self.transients: dict[int, list[TransientFault]] = {}
         self.hard_faults: list[HardFault] = []
         for fault in faults:
@@ -140,6 +158,14 @@ class FaultInjector:
         self.activations: list[tuple[int, FaultSite]] = []
         self._machine: Machine | None = None
         self._memop_counter = 0
+
+    def fork_seq(self, trace_len: int) -> int:
+        """The last safe commit seq before this injector's earliest
+        fault: golden rows ``[0, fork_seq)`` are provably clean, so a
+        fork-point execution may splice them (clamped to ``trace_len``
+        for faults targeting seqs past the end of the golden trace)."""
+        earliest = earliest_fault_seq(self.faults)
+        return trace_len if earliest is None else min(earliest, trace_len)
 
     # -- executor integration ------------------------------------------------
 

@@ -186,6 +186,16 @@ class ParallelErrorDetection(CommitHook):
     def begin(self, trace: Trace) -> None:
         """Bind to the trace being timed: cache its column references so
         the per-commit callbacks below are pure column reads."""
+        if trace.fork_of is not None and not self._checkpoint_faults:
+            # fork-point run: segments entirely before the fork seq are
+            # clean golden splices — let the checker verify them by
+            # column comparison instead of replay.  Corrupted-checkpoint
+            # experiments must keep full replay: a flipped checkpoint
+            # bit is only caught by the register comparison the fast
+            # path elides (CHECKER faults are guarded per segment by the
+            # checker itself).
+            self.segment_checker.bind_fork(trace, trace.fork_of,
+                                           trace.fork_seq)
         self._pcs = trace.pcs
         self._dsts = trace.dsts
         self._mem_off = trace.mem_off

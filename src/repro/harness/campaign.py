@@ -53,9 +53,8 @@ from repro.common.records import (
     record_to_dict,
 )
 from repro.common.rng import derive
-from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.detection.faults import FaultSite, TransientFault
 from repro.detection.system import run_with_detection
-from repro.isa.executor import execute_program
 from repro.schemes import get_scheme, scheme_names
 from repro.schemes.base import ProtectionScheme
 # re-exported from its historical home here; the definition moved to the
@@ -70,7 +69,12 @@ from repro.workloads.suite import benchmark_trace, configure_trace_store
 #: execution core is columnar with pre-decoded dispatch and clean traces
 #: flow through the shared golden-trace store (whose envelopes carry
 #: their own schema) — results are re-keyed against the new pipeline.
-CACHE_SCHEMA_VERSION = 3
+#: v4: fault/recovery jobs execute through the fork-point path (golden
+#: prefix spliced at the earliest fault, pre-fork segments checked by
+#: column comparison) and golden envelopes carry state keyframes —
+#: byte-identical records by construction, re-keyed all the same so a
+#: fork-path defect can never be masked by pre-fork cached results.
+CACHE_SCHEMA_VERSION = 4
 
 #: Subdirectory of a cache root holding the shared golden-trace store
 #: (two-character key prefixes can never collide with it).
@@ -244,8 +248,9 @@ def _recovery_record(spec: JobSpec, scheme: ProtectionScheme,
             f"scheme {scheme.name!r} does not support recovery campaigns")
     fault = spec.fault
     clean = benchmark_trace(spec.benchmark, spec.scale)
-    injector = FaultInjector([fault])
-    faulty = execute_program(clean.program, fault_injector=injector)
+    # the helper takes the fork-point path when the scheme supports it:
+    # byte-identical to a full re-execution, minus the clean prefix
+    injector, faulty = scheme.faulty_trace(clean, fault)
     if not injector.activations:
         return RecoveryRecord(
             benchmark=spec.benchmark, scale=spec.scale, config_key=config_key,

@@ -10,6 +10,11 @@ of worker processes — on one host or on many hosts sharing the directory
     <dir>/cache/          content-addressed results (RunCache layout)
     <dir>/leases/         one atomic lease file per in-flight job
     <dir>/failed/         one failure envelope per permanently failed job
+    <dir>/traces/         shared golden-trace store (columns + keyframes)
+
+The header records the run-cache schema, so a manifest materialised
+before an execution-pipeline change (e.g. v4's fork-point fault path)
+refuses to mix with workers from after it.
 
 Job state is always *derived* from the filesystem, never stored as a
 mutable field that could go stale:

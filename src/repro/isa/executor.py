@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 from array import array
 from functools import partial
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.common.errors import AssemblyError, ExecutionError
 from repro.isa.instructions import (
@@ -695,6 +695,7 @@ class Trace:
         "mem_off", "mem_kind", "mem_addr", "mem_value", "mem_used",
         "final_next_pc", "final_xregs", "final_fregs", "memory", "halted",
         "uop_count", "load_count", "store_count", "crashed", "_rows",
+        "fork_of", "fork_seq", "_keyframes",
     )
 
     def __init__(self, program: Program, *, pcs, dsts, takens,
@@ -725,6 +726,13 @@ class Trace:
         #: access, runaway control flow): the trace ends at the last commit
         #: and §IV-H's held-back termination applies
         self.crashed = crashed
+        #: golden trace this one was forked from (None = executed whole);
+        #: rows ``[0, fork_seq)`` are spliced golden columns, the rest
+        #: came from live execution — process-local metadata, never
+        #: serialised (see :func:`execute_forked`)
+        self.fork_of: Trace | None = None
+        self.fork_seq: int = 0
+        self._keyframes: "Keyframes | None" = None
         self._rows: _RowSeq | None = None
 
     def __len__(self) -> int:
@@ -742,6 +750,22 @@ class Trace:
         """The committed successor pc of row ``seq``."""
         return (self.pcs[seq + 1] if seq + 1 < len(self.pcs)
                 else self.final_next_pc)
+
+    def keyframes(self, interval: int | None = None) -> "Keyframes":
+        """The trace's state keyframes (built on first use and cached;
+        traces loaded from the golden-trace store arrive with them).
+
+        ``interval=None`` uses whatever keyframes exist — consumers like
+        :func:`fork_state` work with any interval — while an explicit
+        ``interval`` (the producer-side knob) rebuilds on mismatch.
+        """
+        kf = self._keyframes
+        if kf is None or (interval is not None and kf.interval != interval):
+            kf = build_keyframes(
+                self, DEFAULT_KEYFRAME_INTERVAL if interval is None
+                else interval)
+            self._keyframes = kf
+        return kf
 
     # -- bit-exact serialisation (the golden-trace store's wire format) ------
 
@@ -907,34 +931,21 @@ class Machine:
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
 
 
-def execute_program(
-    program: Program,
-    fault_injector=None,
-    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-) -> Trace:
-    """Run ``program`` to completion on the (simulated) main core.
-
-    ``fault_injector`` is an optional :class:`repro.detection.faults.FaultInjector`
-    applied at the architectural fault sites; ``None`` is the fault-free
-    fast path.  Returns the committed columnar :class:`Trace`.
+def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
+                 pcs, dsts_col, takens,
+                 mem_off, mem_kind, mem_addr, mem_value, mem_used,
+                 seq: int, uops: int, loads: int, stores: int,
+                 ) -> tuple[int, int, int, bool]:
+    """The one commit loop shared by :func:`execute_program` and
+    :func:`execute_forked`: run ``machine`` until halt or crash,
+    appending every committed row to the caller's columns (which may
+    already hold a spliced prefix — ``seq`` and the counters continue
+    from it).  Returns the final ``(uops, loads, stores, crashed)``.
     """
-    memory = program.initial_memory()
-    machine = Machine(program, memory=memory)
+    program = machine.program
     inject = fault_injector is not None
-    if inject:
-        fault_injector.attach(machine)
-
     steps = machine._steps
     uops_table = _uops_by_pc(program)
-
-    pcs = array("Q")
-    dsts_col: list[tuple] = []
-    takens = array("b")
-    mem_off = array("Q", (0,))
-    mem_kind = array("b")
-    mem_addr = array("Q")
-    mem_value = array("Q")
-    mem_used = array("Q")
 
     pcs_append = pcs.append
     dsts_append = dsts_col.append
@@ -945,10 +956,8 @@ def execute_program(
     value_append = mem_value.append
     used_append = mem_used.append
 
-    uops = loads = stores = 0
+    entries = mem_off[-1]
     crashed = False
-    seq = 0
-    entries = 0
     while not machine.halted:
         if seq >= max_instructions:
             if inject:
@@ -996,6 +1005,40 @@ def execute_program(
         uops += uops_table[pc]
         seq += 1
 
+    return uops, loads, stores, crashed
+
+
+def execute_program(
+    program: Program,
+    fault_injector=None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> Trace:
+    """Run ``program`` to completion on the (simulated) main core.
+
+    ``fault_injector`` is an optional :class:`repro.detection.faults.FaultInjector`
+    applied at the architectural fault sites; ``None`` is the fault-free
+    fast path.  Returns the committed columnar :class:`Trace`.
+    """
+    memory = program.initial_memory()
+    machine = Machine(program, memory=memory)
+    if fault_injector is not None:
+        fault_injector.attach(machine)
+
+    pcs = array("Q")
+    dsts_col: list[tuple] = []
+    takens = array("b")
+    mem_off = array("Q", (0,))
+    mem_kind = array("b")
+    mem_addr = array("Q")
+    mem_value = array("Q")
+    mem_used = array("Q")
+
+    uops, loads, stores, crashed = _commit_loop(
+        machine, fault_injector, max_instructions,
+        pcs, dsts_col, takens,
+        mem_off, mem_kind, mem_addr, mem_value, mem_used,
+        seq=0, uops=0, loads=0, stores=0)
+
     return Trace(
         program,
         pcs=pcs,
@@ -1016,3 +1059,259 @@ def execute_program(
         store_count=stores,
         crashed=crashed,
     )
+
+
+# -- fork-point execution -----------------------------------------------------
+#
+# A fault job's execution is bit-identical to the golden trace up to the
+# earliest injected fault, so re-executing that prefix is pure waste at
+# campaign scale.  The fork path reconstructs the architectural state at
+# the fork seq from the golden *columns* (no instruction execution),
+# splices the golden columnar prefix into the new trace, and runs the
+# live machine only from the fork seq onward.  Keyframes bound the
+# column replay: every `interval` commits the golden trace snapshots the
+# state *delta* since the previous keyframe, so reconstruction applies a
+# few compact dicts and then replays at most `interval` rows.
+
+#: Committed instructions between state keyframes (the knob trades
+#: golden-envelope size against fork-state reconstruction work).
+DEFAULT_KEYFRAME_INTERVAL = 1000
+
+
+class Keyframe(NamedTuple):
+    """State delta at one keyframe boundary.
+
+    The frame describes the architectural state *before* committing row
+    ``seq`` as a delta over the previous frame (or over the initial
+    state for the first): registers written and words stored since then,
+    plus cumulative uop/load/store counts at ``seq``.
+    """
+
+    seq: int
+    xregs: dict[int, int]
+    fregs: dict[int, float]
+    mem: dict[int, int]
+    uops: int
+    loads: int
+    stores: int
+
+
+class Keyframes:
+    """Periodic state keyframes over one committed trace."""
+
+    __slots__ = ("interval", "frames")
+
+    def __init__(self, interval: int, frames: tuple[Keyframe, ...]) -> None:
+        self.interval = interval
+        self.frames = frames
+
+    # -- bit-exact serialisation (rides the golden-trace envelope) -----------
+
+    def to_payload(self) -> dict:
+        return {
+            "interval": self.interval,
+            "frames": [
+                [f.seq,
+                 sorted(f.xregs.items()),
+                 sorted((i, float_to_bits(v)) for i, v in f.fregs.items()),
+                 sorted(f.mem.items()),
+                 f.uops, f.loads, f.stores]
+                for f in self.frames
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Keyframes":
+        frames = tuple(
+            Keyframe(seq,
+                     {i: v for i, v in xregs},
+                     {i: bits_to_float(v) for i, v in fregs},
+                     {a: v for a, v in mem},
+                     uops, loads, stores)
+            for seq, xregs, fregs, mem, uops, loads, stores
+            in payload["frames"])
+        return cls(int(payload["interval"]), frames)
+
+
+def _replay_rows(trace: Trace, start: int, stop: int,
+                 xregs, fregs, mem,
+                 uops: int, loads: int, stores: int) -> tuple[int, int, int]:
+    """Apply rows ``[start, stop)`` of ``trace``'s columns into the
+    given register/memory containers (anything indexable — the register
+    files of :func:`fork_state`, the delta dicts of
+    :func:`build_keyframes`), returning the updated cumulative counts.
+    This is the one definition of what committing a row does to
+    architectural state outside the live machine.
+    """
+    pcs = trace.pcs
+    dsts = trace.dsts
+    mem_off = trace.mem_off
+    mem_kind = trace.mem_kind
+    mem_addr = trace.mem_addr
+    mem_value = trace.mem_value
+    uops_table = _uops_by_pc(trace.program)
+    for seq in range(start, stop):
+        for is_fp, idx, value in dsts[seq]:
+            if is_fp:
+                fregs[idx] = value
+            else:
+                xregs[idx] = value
+        for j in range(mem_off[seq], mem_off[seq + 1]):
+            kind = mem_kind[j]
+            if kind == STORE:
+                mem[mem_addr[j]] = mem_value[j]
+                stores += 1
+            elif kind == LOAD:
+                loads += 1
+        uops += uops_table[pcs[seq]]
+    return uops, loads, stores
+
+
+def build_keyframes(trace: Trace,
+                    interval: int = DEFAULT_KEYFRAME_INTERVAL) -> Keyframes:
+    """One pass over ``trace``'s columns collecting per-interval deltas."""
+    if interval < 1:
+        raise ExecutionError(f"keyframe interval must be >= 1, got {interval}")
+    frames: list[Keyframe] = []
+    uops = loads = stores = 0
+    prev = 0
+    # rows after the last boundary never land in a frame: stop there
+    for boundary in range(interval, len(trace.pcs), interval):
+        xdelta: dict[int, int] = {}
+        fdelta: dict[int, float] = {}
+        mdelta: dict[int, int] = {}
+        uops, loads, stores = _replay_rows(
+            trace, prev, boundary, xdelta, fdelta, mdelta,
+            uops, loads, stores)
+        frames.append(Keyframe(boundary, xdelta, fdelta, mdelta,
+                               uops, loads, stores))
+        prev = boundary
+    return Keyframes(interval, tuple(frames))
+
+
+class ForkState(NamedTuple):
+    """Architectural state before committing row ``fork_seq``."""
+
+    xregs: list[int]
+    fregs: list[float]
+    memory: MemoryImage
+    pc: int
+    #: cumulative counts over the prefix (the spliced rows)
+    uops: int
+    loads: int
+    stores: int
+
+
+def fork_state(trace: Trace, fork_seq: int) -> ForkState:
+    """Reconstruct the state at ``fork_seq`` by replaying columns.
+
+    No instruction is executed: keyframe deltas cover the bulk of the
+    prefix and the remaining (at most one interval of) rows have their
+    ``dsts`` writebacks and store entries applied directly.
+    """
+    total = len(trace)
+    if not 0 <= fork_seq <= total:
+        raise ExecutionError(
+            f"fork seq {fork_seq} outside 0..{total}")
+    xregs = [0] * NUM_INT_REGS
+    fregs = [0.0] * NUM_FP_REGS
+    memory = trace.program.initial_memory()
+    mem_words = memory._words
+    uops = loads = stores = 0
+    start = 0
+    for frame in trace.keyframes().frames:
+        if frame.seq > fork_seq:
+            break
+        for idx, value in frame.xregs.items():
+            xregs[idx] = value
+        for idx, value in frame.fregs.items():
+            fregs[idx] = value
+        mem_words.update(frame.mem)
+        uops, loads, stores = frame.uops, frame.loads, frame.stores
+        start = frame.seq
+
+    uops, loads, stores = _replay_rows(
+        trace, start, fork_seq, xregs, fregs, mem_words,
+        uops, loads, stores)
+
+    pc = trace.pcs[fork_seq] if fork_seq < total else trace.final_next_pc
+    return ForkState(xregs, fregs, memory, pc, uops, loads, stores)
+
+
+def execute_forked(
+    golden: Trace,
+    fault_injector=None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    fork_seq: int | None = None,
+) -> Trace:
+    """Re-run ``golden``'s program with faults, executing only from the
+    fork point.
+
+    The result is byte-identical to
+    ``execute_program(golden.program, fault_injector)`` whenever every
+    injected fault strikes at or after ``fork_seq`` — which is exactly
+    how the default fork seq (the injector's earliest fault) is chosen.
+    Rows before the fork are spliced golden columns; the live machine
+    starts from the reconstructed fork state.  The returned trace
+    carries ``fork_of``/``fork_seq`` so the detection side can verify
+    pre-fork segments by column comparison instead of replay.
+    """
+    if not golden.halted or golden.crashed:
+        raise ExecutionError(
+            "can only fork a clean, completely executed golden trace")
+    program = golden.program
+    total = len(golden)
+    if fork_seq is None:
+        fork_seq = (fault_injector.fork_seq(total)
+                    if fault_injector is not None else total)
+    fork_seq = min(max(fork_seq, 0), total)
+
+    state = fork_state(golden, fork_seq)
+    machine = Machine(program, memory=state.memory, pc=state.pc)
+    machine.set_registers(state.xregs, state.fregs)
+    machine.instr_count = fork_seq
+    machine.halted = fork_seq == total
+    if fault_injector is not None:
+        fault_injector.attach(machine)
+
+    # splice the golden prefix (array/list slices: bulk C-level copies)
+    pcs = golden.pcs[:fork_seq]
+    dsts_col = list(golden.dsts[:fork_seq])
+    takens = golden.takens[:fork_seq]
+    mem_off = golden.mem_off[:fork_seq + 1]
+    entries = mem_off[-1]
+    mem_kind = golden.mem_kind[:entries]
+    mem_addr = golden.mem_addr[:entries]
+    mem_value = golden.mem_value[:entries]
+    mem_used = golden.mem_used[:entries]
+
+    uops, loads, stores, crashed = _commit_loop(
+        machine, fault_injector, max_instructions,
+        pcs, dsts_col, takens,
+        mem_off, mem_kind, mem_addr, mem_value, mem_used,
+        seq=fork_seq, uops=state.uops, loads=state.loads,
+        stores=state.stores)
+
+    trace = Trace(
+        program,
+        pcs=pcs,
+        dsts=dsts_col,
+        takens=takens,
+        mem_off=mem_off,
+        mem_kind=mem_kind,
+        mem_addr=mem_addr,
+        mem_value=mem_value,
+        mem_used=mem_used,
+        final_next_pc=machine.pc,
+        final_xregs=list(machine.xregs),
+        final_fregs=list(machine.fregs),
+        memory=state.memory,
+        halted=machine.halted,
+        uop_count=uops,
+        load_count=loads,
+        store_count=stores,
+        crashed=crashed,
+    )
+    trace.fork_of = golden
+    trace.fork_seq = fork_seq
+    return trace

@@ -26,11 +26,24 @@ registry, so adding a scheme is one module with one decorator.
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
-from repro.detection.faults import TransientFault
-from repro.isa.executor import Trace
+from repro.detection.faults import FaultInjector, HardFault, TransientFault
+from repro.isa.executor import Trace, execute_forked, execute_program
+from repro.isa.memory_image import float_to_bits
+
+#: Environment switch for fork-point fault execution: set to ``0`` to
+#: force every fault job down the full-execution path (the benchmark
+#: uses this to measure the speedup; workers inherit it, so one setting
+#: governs serial, pool, and manifest execution alike).
+FORK_INJECTION_ENV = "REPRO_FORK_INJECTION"
+
+
+def fork_injection_enabled() -> bool:
+    """Whether fault jobs may use the fork-point execution path."""
+    return os.environ.get(FORK_INJECTION_ENV, "1") != "0"
 
 #: Classification buckets shared by every scheme's ``inject`` verdict
 #: (mirrors ``repro.common.records.FAULT_OUTCOMES``).
@@ -86,12 +99,21 @@ class SchemeSummary:
 
 
 def architecturally_masked(clean: Trace, faulty: Trace) -> bool:
-    """True when a fault left no architecturally visible difference."""
+    """True when a fault left no architecturally visible difference.
+
+    FP registers compare by IEEE-754 bit pattern — the comparison the
+    paper's checkpoint/comparator hardware performs.  Python float
+    equality would both drop NaN states (NaN != NaN on recomputation)
+    and resurrect them via the identity shortcut when the fork path
+    splices the golden trace's float objects, making the verdict depend
+    on which execution path produced the trace.
+    """
     if len(clean) != len(faulty):
         return False
     if clean.final_xregs != faulty.final_xregs:
         return False
-    if clean.final_fregs != faulty.final_fregs:
+    if [float_to_bits(v) for v in clean.final_fregs] != \
+            [float_to_bits(v) for v in faulty.final_fregs]:
         return False
     clean_mem = {a: v for a, v in clean.memory.items() if v}
     faulty_mem = {a: v for a, v in faulty.memory.items() if v}
@@ -117,6 +139,29 @@ class ProtectionScheme(abc.ABC):
     covers_hard_faults: bool = False
     #: the scheme can drive detect→rollback→re-execute recovery
     supports_recovery: bool = False
+    #: fault jobs may fork the stored golden trace at the earliest fault
+    #: instead of re-executing the clean prefix (any scheme whose
+    #: ``inject`` produces the faulty run with :meth:`faulty_trace`)
+    supports_fork_injection: bool = False
+
+    def faulty_trace(
+        self, clean: Trace, fault: TransientFault | HardFault,
+    ) -> tuple[FaultInjector, Trace]:
+        """Produce the faulty committed trace for one injection trial.
+
+        Uses the fork-point path — state reconstructed at the earliest
+        fault, golden prefix spliced, live execution only from there —
+        when the scheme supports it and :data:`FORK_INJECTION_ENV` does
+        not veto it; otherwise a full re-execution.  Both paths return
+        byte-identical traces and activation lists, so which one ran is
+        unobservable in any record.
+        """
+        injector = FaultInjector([fault])
+        if self.supports_fork_injection and fork_injection_enabled():
+            faulty = execute_forked(clean, injector)
+        else:
+            faulty = execute_program(clean.program, fault_injector=injector)
+        return injector, faulty
 
     @abc.abstractmethod
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
@@ -146,4 +191,5 @@ class ProtectionScheme(abc.ABC):
             "detects_faults": self.detects_faults,
             "covers_hard_faults": self.covers_hard_faults,
             "supports_recovery": self.supports_recovery,
+            "supports_fork_injection": self.supports_fork_injection,
         }

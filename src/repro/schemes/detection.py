@@ -14,14 +14,9 @@ from repro.analysis.area import area_model
 from repro.analysis.power import energy_overhead_per_run, power_model
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_us
-from repro.detection.faults import (
-    FaultInjector,
-    FaultSite,
-    TransientFault,
-    system_faults,
-)
+from repro.detection.faults import FaultSite, TransientFault, system_faults
 from repro.detection.system import run_unprotected, run_with_detection
-from repro.isa.executor import Trace, execute_program
+from repro.isa.executor import Trace
 from repro.schemes.base import (
     FaultVerdict,
     ProtectionScheme,
@@ -40,6 +35,7 @@ class ParallelDetectionScheme(ProtectionScheme):
     detects_faults = True
     covers_hard_faults = True
     supports_recovery = True
+    supports_fork_injection = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         # self-contained on purpose: a scheme-timing job is a pure
@@ -59,8 +55,7 @@ class ParallelDetectionScheme(ProtectionScheme):
     def inject(self, trace: Trace, config: SystemConfig,
                fault: TransientFault,
                interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector = FaultInjector([fault])
-        faulty = execute_program(trace.program, fault_injector=injector)
+        injector, faulty = self.faulty_trace(trace, fault)
         detection_side = fault.site in (FaultSite.CHECKPOINT,
                                         FaultSite.CHECKER)
         activated = bool(injector.activations) or detection_side

@@ -18,8 +18,8 @@ from repro.baselines.lockstep import (
 )
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_us
-from repro.detection.faults import FaultInjector, TransientFault
-from repro.isa.executor import Trace, execute_program
+from repro.detection.faults import TransientFault
+from repro.isa.executor import Trace
 from repro.schemes.base import (
     FaultVerdict,
     ProtectionScheme,
@@ -37,6 +37,7 @@ class LockstepScheme(ProtectionScheme):
     detects_faults = True
     covers_hard_faults = True
     supports_recovery = False
+    supports_fork_injection = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         result = run_lockstep(trace, config)
@@ -51,8 +52,7 @@ class LockstepScheme(ProtectionScheme):
     def inject(self, trace: Trace, config: SystemConfig,
                fault: TransientFault,
                interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector = FaultInjector([fault])
-        execute_program(trace.program, fault_injector=injector)
+        injector, _faulty = self.faulty_trace(trace, fault)
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
         # an activated fault changed a committed value on exactly one of

@@ -14,8 +14,8 @@ from __future__ import annotations
 from repro.baselines.rmt import RMT_AREA_OVERHEAD, RMT_ENERGY_OVERHEAD, run_rmt
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_us
-from repro.detection.faults import FaultInjector, TransientFault
-from repro.isa.executor import Trace, execute_program
+from repro.detection.faults import TransientFault
+from repro.isa.executor import Trace
 from repro.schemes.base import (
     FaultVerdict,
     ProtectionScheme,
@@ -33,6 +33,7 @@ class RMTScheme(ProtectionScheme):
     detects_faults = True
     covers_hard_faults = False
     supports_recovery = False
+    supports_fork_injection = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         result = run_rmt(trace, config)
@@ -47,8 +48,7 @@ class RMTScheme(ProtectionScheme):
     def inject(self, trace: Trace, config: SystemConfig,
                fault: TransientFault,
                interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector = FaultInjector([fault])
-        execute_program(trace.program, fault_injector=injector)
+        injector, _faulty = self.faulty_trace(trace, fault)
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
         # the trailing thread lags by roughly the instruction window; the

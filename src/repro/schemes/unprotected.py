@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro.baselines.unprotected import run_baseline
 from repro.common.config import SystemConfig
-from repro.detection.faults import FaultInjector, TransientFault
-from repro.isa.executor import Trace, execute_program
+from repro.detection.faults import TransientFault
+from repro.isa.executor import Trace
 from repro.schemes.base import (
     FaultVerdict,
     ProtectionScheme,
@@ -30,6 +30,7 @@ class UnprotectedScheme(ProtectionScheme):
     detects_faults = False
     covers_hard_faults = False
     supports_recovery = False
+    supports_fork_injection = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         core = run_baseline(trace, config)
@@ -44,8 +45,7 @@ class UnprotectedScheme(ProtectionScheme):
     def inject(self, trace: Trace, config: SystemConfig,
                fault: TransientFault,
                interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector = FaultInjector([fault])
-        faulty = execute_program(trace.program, fault_injector=injector)
+        injector, faulty = self.faulty_trace(trace, fault)
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
         if architecturally_masked(trace, faulty):

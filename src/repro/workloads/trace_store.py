@@ -11,7 +11,7 @@ once per process.
 This module stores golden traces on disk next to the campaign run cache,
 content-addressed like it::
 
-    <root>/<key[:2]>/<key>.json      {key, schema, trace} envelopes
+    <root>/<key[:2]>/<key>.json      {key, schema, trace, keyframes} envelopes
 
 where the key hashes the benchmark name, scale, the store schema, and a
 **fingerprint of the built program** (opcodes, operands, data image,
@@ -37,14 +37,17 @@ import uuid
 from pathlib import Path
 
 from repro.common.records import canonical_json
-from repro.isa.executor import Trace
+from repro.isa.executor import Keyframes, Trace
 from repro.isa.memory_image import float_to_bits
 from repro.isa.program import Program
 
 #: Bump whenever the trace payload layout or execution semantics change:
 #: mismatched envelopes read as misses and are re-executed, never as
-#: silently stale traces.
-TRACE_STORE_SCHEMA = 1
+#: silently stale traces.  v2: envelopes carry periodic state keyframes
+#: (:class:`repro.isa.executor.Keyframes`), so a worker forking a stored
+#: trace reconstructs fork-point state without a column walk over the
+#: whole prefix.
+TRACE_STORE_SCHEMA = 2
 
 
 def program_fingerprint(program: Program) -> str:
@@ -114,6 +117,7 @@ class TraceStore:
             return None
         try:
             trace = Trace.from_payload(program, envelope["trace"])
+            trace._keyframes = Keyframes.from_payload(envelope["keyframes"])
         except (KeyError, TypeError, ValueError, OverflowError):
             self.misses += 1
             return None
@@ -127,6 +131,9 @@ class TraceStore:
             "key": key,
             "schema": TRACE_STORE_SCHEMA,
             "trace": trace.to_payload(),
+            # fork-point jobs reconstruct state from these instead of
+            # replaying the whole prefix column-by-column
+            "keyframes": trace.keyframes().to_payload(),
         })
         # concurrent same-key writers (two workers racing on a cold
         # store) must not trample each other's temp files

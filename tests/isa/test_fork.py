@@ -1,0 +1,220 @@
+"""Fork-point execution: keyframes, state reconstruction, trace splicing.
+
+The contract under test is *byte identity*: state materialised at an
+arbitrary fork seq (keyframe deltas + column replay) must equal the
+state of a full execution stopped at that seq, and a forked faulty run
+must produce exactly the trace a full faulty execution produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.detection.faults import (
+    FaultInjector,
+    FaultSite,
+    HardFault,
+    TransientFault,
+    earliest_fault_seq,
+)
+from repro.isa.executor import (
+    Keyframes,
+    Machine,
+    Trace,
+    build_keyframes,
+    execute_forked,
+    execute_program,
+    fork_state,
+)
+from repro.isa.instructions import Opcode
+from repro.isa.memory_image import float_to_bits
+from repro.isa.program import ProgramBuilder
+from repro.workloads.suite import BENCHMARK_ORDER, benchmark_trace
+
+from tests.conftest import build_rmw_loop
+
+
+def machine_after(program, steps: int) -> Machine:
+    """A machine stepped ``steps`` instructions into a fresh execution."""
+    machine = Machine(program)
+    for _ in range(steps):
+        machine.step()
+    return machine
+
+
+def assert_states_equal(state, machine, fork_seq):
+    assert state.xregs == machine.xregs, fork_seq
+    assert [float_to_bits(v) for v in state.fregs] == \
+        [float_to_bits(v) for v in machine.fregs], fork_seq
+    assert dict(state.memory.items()) == dict(machine.memory.items()), fork_seq
+
+
+class TestForkState:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_equals_truncated_execution_all_workloads(self, name):
+        """Keyframe + column replay == really executing to the fork seq."""
+        trace = benchmark_trace(name, "small")
+        fork_seq = (2 * len(trace)) // 3 + 7   # off any keyframe boundary
+        state = fork_state(trace, fork_seq)
+        machine = machine_after(trace.program, fork_seq)
+        assert_states_equal(state, machine, fork_seq)
+        assert state.pc == machine.pc
+
+    def test_boundary_seqs(self):
+        trace = benchmark_trace("stream", "small")
+        n = len(trace)
+        for fork_seq in (0, 1, 999, 1000, 1001, n - 1, n):
+            state = fork_state(trace, fork_seq)
+            machine = machine_after(trace.program, fork_seq)
+            assert_states_equal(state, machine, fork_seq)
+        # at the end of the trace the "next pc" is the final one
+        assert fork_state(trace, n).pc == trace.final_next_pc
+
+    def test_prefix_counts_match_full_execution(self):
+        trace = benchmark_trace("stream", "small")
+        n = len(trace)
+        state = fork_state(trace, n)
+        assert (state.uops, state.loads, state.stores) == \
+            (trace.uop_count, trace.load_count, trace.store_count)
+
+    def test_out_of_range_seq_rejected(self):
+        trace = execute_program(build_rmw_loop(iterations=5))
+        with pytest.raises(ExecutionError):
+            fork_state(trace, len(trace) + 1)
+
+
+class TestKeyframes:
+    def test_interval_and_placement(self):
+        trace = benchmark_trace("stream", "small")
+        kf = trace.keyframes()
+        assert kf.frames, "suite traces are long enough to have keyframes"
+        assert [f.seq for f in kf.frames] == \
+            [s for s in range(kf.interval, len(trace), kf.interval)]
+
+    def test_payload_round_trip_bit_exact(self):
+        trace = benchmark_trace("blackscholes", "small")  # FP deltas
+        kf = build_keyframes(trace, 500)
+        loaded = Keyframes.from_payload(kf.to_payload())
+        assert loaded.interval == kf.interval
+        for a, b in zip(loaded.frames, kf.frames):
+            assert a.seq == b.seq
+            assert a.xregs == b.xregs
+            assert a.mem == b.mem
+            assert {i: float_to_bits(v) for i, v in a.fregs.items()} == \
+                {i: float_to_bits(v) for i, v in b.fregs.items()}
+            assert (a.uops, a.loads, a.stores) == (b.uops, b.loads, b.stores)
+
+    def test_custom_interval_rebuilds(self):
+        trace = execute_program(build_rmw_loop(iterations=100))
+        coarse = trace.keyframes(400)
+        assert coarse.interval == 400
+        # fork_state consumes whatever interval is cached
+        seq = len(trace) - 3
+        a = fork_state(trace, seq)
+        fine = trace.keyframes(100)
+        assert fine.interval == 100
+        b = fork_state(trace, seq)
+        assert a.xregs == b.xregs
+        assert dict(a.memory.items()) == dict(b.memory.items())
+
+
+class TestForkSeq:
+    def test_earliest_over_mixed_faults(self):
+        faults = [
+            TransientFault(FaultSite.RESULT, seq=500),
+            TransientFault(FaultSite.STORE_ADDR, seq=200),
+            HardFault(Opcode.ADD, mask=1, start_seq=350),
+        ]
+        assert earliest_fault_seq(faults) == 200
+        assert FaultInjector(faults).fork_seq(10_000) == 200
+
+    def test_detection_side_faults_fork_past_the_end(self):
+        faults = [TransientFault(FaultSite.CHECKPOINT, seq=3),
+                  TransientFault(FaultSite.CHECKER, seq=40)]
+        assert earliest_fault_seq(faults) is None
+        assert FaultInjector(faults).fork_seq(777) == 777
+
+    def test_clamped_to_trace_length(self):
+        faults = [TransientFault(FaultSite.RESULT, seq=10_000)]
+        assert FaultInjector(faults).fork_seq(100) == 100
+
+
+class TestExecuteForked:
+    def _assert_identical(self, program_or_trace, faults, **kwargs):
+        golden = (program_or_trace if isinstance(program_or_trace, Trace)
+                  else execute_program(program_or_trace))
+        full_inj = FaultInjector(list(faults))
+        full = execute_program(golden.program, fault_injector=full_inj,
+                               **kwargs)
+        fork_inj = FaultInjector(list(faults))
+        forked = execute_forked(golden, fork_inj, **kwargs)
+        assert full.to_payload() == forked.to_payload()
+        assert full_inj.activations == fork_inj.activations
+        assert forked.fork_of is golden
+        return forked
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_byte_identical_late_result_fault_all_workloads(self, name):
+        golden = benchmark_trace(name, "small")
+        fault = TransientFault(FaultSite.RESULT, seq=len(golden) - 40, bit=3)
+        forked = self._assert_identical(golden, [fault])
+        assert forked.fork_seq == fault.seq
+
+    def test_byte_identical_across_sites(self):
+        golden = benchmark_trace("stream", "small")
+        n = len(golden)
+        for fault in [
+            TransientFault(FaultSite.LOAD_VALUE, seq=n // 2, bit=9),
+            TransientFault(FaultSite.LOAD_ADDR, seq=n - 300, bit=5),
+            TransientFault(FaultSite.STORE_VALUE, seq=n - 80, bit=1),
+            TransientFault(FaultSite.STORE_ADDR, seq=n - 80, bit=6),
+            TransientFault(FaultSite.BRANCH, seq=n - 120),
+            TransientFault(FaultSite.PC, seq=n - 60, bit=2),
+            HardFault(Opcode.ADD, mask=8, start_seq=n - 500),
+        ]:
+            self._assert_identical(golden, [fault])
+
+    def test_detection_side_fault_splices_whole_golden(self):
+        golden = benchmark_trace("bitcount", "small")
+        fault = TransientFault(FaultSite.CHECKER, seq=7)
+        forked = self._assert_identical(golden, [fault])
+        assert forked.fork_seq == len(golden)
+
+    def test_unaligned_trap_crash_identical(self):
+        # same shape as the columnar crash pin: a RESULT fault flips the
+        # address register's low bit and the following load traps
+        b = ProgramBuilder("trap")
+        b.put_word(0x1000, 7)
+        b.emit(Opcode.MOVI, rd=1, imm=0x1000)
+        b.emit(Opcode.ADDI, rd=2, rs1=1, imm=0)
+        b.emit(Opcode.LD, rd=3, rs1=2, imm=0)
+        b.emit(Opcode.HALT)
+        forked = self._assert_identical(
+            b.build(), [TransientFault(FaultSite.RESULT, seq=1, bit=0)])
+        assert forked.crashed and not forked.halted
+
+    def test_runaway_loop_crash_identical(self):
+        b = ProgramBuilder("branchspin")
+        b.emit(Opcode.MOVI, rd=1, imm=0)
+        b.emit(Opcode.MOVI, rd=2, imm=30)
+        b.label("loop")
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        b.emit(Opcode.BLT, rs1=1, rs2=2, target="loop")
+        b.emit(Opcode.HALT)
+        # flipping the counter's sign bit turns the loop unbounded
+        fault = TransientFault(FaultSite.RESULT, seq=40, bit=63)
+        self._assert_identical(b.build(), [fault], max_instructions=200)
+
+    def test_fork_requires_clean_golden(self):
+        injector = FaultInjector(
+            [TransientFault(FaultSite.RESULT, seq=1, bit=0)])
+        b = ProgramBuilder("trap")
+        b.put_word(0x1000, 7)
+        b.emit(Opcode.MOVI, rd=1, imm=0x1000)
+        b.emit(Opcode.ADDI, rd=2, rs1=1, imm=0)
+        b.emit(Opcode.LD, rd=3, rs1=2, imm=0)
+        b.emit(Opcode.HALT)
+        crashed = execute_program(b.build(), fault_injector=injector)
+        with pytest.raises(ExecutionError):
+            execute_forked(crashed, FaultInjector([]))

@@ -70,6 +70,33 @@ class TestTraceStore:
             (trace.uop_count, trace.load_count, trace.store_count,
              trace.halted, trace.crashed, trace.final_next_pc)
 
+    def test_envelope_carries_keyframes(self, tmp_path):
+        """A loaded golden trace arrives with its state keyframes, so a
+        fork-point job never rebuilds them with a full column walk."""
+        store = TraceStore(tmp_path)
+        program = build_benchmark("stream", "small")
+        trace = execute_program(program)
+        key = store.key("stream", "small", program)
+        store.put(key, trace)
+        loaded = store.get(key, program)
+        assert loaded._keyframes is not None
+        assert loaded.keyframes() is loaded._keyframes
+        original = trace.keyframes()
+        assert [f.seq for f in loaded._keyframes.frames] == \
+            [f.seq for f in original.frames]
+        assert loaded._keyframes.to_payload() == original.to_payload()
+
+    def test_keyframeless_envelope_reads_as_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        del envelope["keyframes"]
+        path.write_text(json.dumps(envelope))
+        assert store.get(key, program) is None
+
     def test_miss_on_empty_store(self, tmp_path):
         store = TraceStore(tmp_path)
         program = build_benchmark("stream", "small")
