@@ -9,7 +9,11 @@ ways a fault job can produce its faulty trace:
 * ``forked`` — the fork-point path: reconstruct state at the earliest
   fault from the golden trace's keyframes, splice the golden columnar
   prefix, execute only from the fork seq, and let the checker verify
-  pre-fork segments by column comparison.
+  pre-fork segments by column comparison;
+* ``batch`` — the fork-point path amortised: the whole fault cell as a
+  single ``fault-batch`` job sharing one fork cursor over one golden
+  trace, so the golden columns are replayed once per cell instead of
+  once per fault.
 
 Faults are **late-trace** (drawn from the last tenth of each workload's
 dynamic trace), the regime campaign grids spend most of their trials in
@@ -128,19 +132,40 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
                     raise AssertionError(
                         f"forked records diverge from full execution "
                         f"({name}/{scheme}, serial path)")
+                # batch path: the same fault cell as ONE fault-batch job
+                # (shared fork cursor, one golden-column sweep total);
+                # its nested per-fault records must be byte-identical to
+                # the per-job records above
+                batch_spec = JobSpec(
+                    "fault-batch", name, scale,
+                    faults=tuple(spec.fault for spec in specs),
+                    scheme=scheme)
+                batch_s, batch_json = time_jobs([batch_spec], repeat)
+                nested = json.loads(batch_json)[0]["records"]
+                if canonical_json(nested) != forked_json:
+                    raise AssertionError(
+                        f"batch records diverge from the per-job fault "
+                        f"path ({name}/{scheme}, serial path)")
                 per_scheme[scheme] = {
                     "full_fps": round(trials / full_s, 1),
                     "forked_fps": round(trials / forked_s, 1),
+                    "batch_fps": round(trials / batch_s, 1),
                     "speedup": round(full_s / forked_s, 2),
+                    "batch_speedup": round(full_s / batch_s, 2),
                 }
             results[name] = per_scheme
 
-            # manifest-worker path: same grid, one worker per mode into
-            # fresh manifest directories, merged records must match the
-            # serial runs byte for byte
+            # manifest-worker path: same grid (plus one batch cell), one
+            # worker per mode into fresh manifest directories, merged
+            # records must match the serial runs byte for byte
             mixed = [spec for scheme in SCHEMES
                      for spec in late_fault_jobs(name, scale,
                                                  max(2, trials // 2), scheme)]
+            mixed.append(JobSpec(
+                "fault-batch", name, scale,
+                faults=tuple(spec.fault for spec in mixed
+                             if spec.scheme == "lockstep"),
+                scheme="lockstep"))
             _set_mode(forked=False)
             via_full = manifest_records(mixed, tmp_path / f"m-full-{name}",
                                         "full")
@@ -159,7 +184,7 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
     n = len(lockstep)
     return {
         "bench": "fault_campaign",
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
         "trials": trials,
         "repeat": repeat,
@@ -168,25 +193,26 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
         "mean_full_fps": round(sum(r["full_fps"] for r in lockstep) / n, 1),
         "mean_forked_fps": round(
             sum(r["forked_fps"] for r in lockstep) / n, 1),
+        "mean_batch_fps": round(
+            sum(r["batch_fps"] for r in lockstep) / n, 1),
         "mean_speedup": round(sum(r["speedup"] for r in lockstep) / n, 2),
+        "mean_batch_speedup": round(
+            sum(r["batch_speedup"] for r in lockstep) / n, 2),
     }
 
 
 def check_against(payload: dict, baseline_path: str, tolerance: float) -> int:
-    """Exit status of the regression gate (0 ok, 1 regressed)."""
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
-    status = 0
-    for metric in ("mean_forked_fps", "mean_speedup"):
-        current = payload[metric]
-        reference = baseline[metric]
-        floor = reference * (1.0 - tolerance)
-        verdict = "ok" if current >= floor else "REGRESSED"
-        print(f"{metric}: {current:.2f} vs baseline {reference:.2f} "
-              f"(floor {floor:.2f}) {verdict}")
-        if current < floor:
-            status = 1
-    return status
+    """Exit status of the regression gate (0 ok, 1 regressed, 2 when the
+    baseline itself is missing/unusable — see ``benchmarks/gate.py``)."""
+    import importlib.util
+
+    gate_path = Path(__file__).resolve().with_name("gate.py")
+    spec = importlib.util.spec_from_file_location("bench_gate", gate_path)
+    gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gate)
+    return gate.check_metrics(
+        payload, baseline_path, tolerance,
+        ("mean_forked_fps", "mean_speedup", "mean_batch_fps"))
 
 
 def main(argv: list[str] | None = None) -> int:

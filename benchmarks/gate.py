@@ -1,0 +1,70 @@
+"""The shared bench regression gate.
+
+Every microbenchmark's ``--check`` path funnels through
+:func:`check_metrics`, so the failure semantics live in exactly one
+place: a *regressed* metric exits 1, while a **broken gate** — baseline
+file missing, unparseable, or lacking a checked metric — exits 2 loudly
+instead of passing vacuously.  CI treats both as failures; the distinct
+status makes "the code got slower" and "the gate never ran" separable
+in logs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def load_baseline(path: str) -> dict:
+    """The committed baseline payload, or a loud ``SystemExit(2)``.
+
+    A missing or garbled baseline must never look like a passing gate:
+    the common failure mode is a renamed/forgotten baseline file, which
+    a vacuous pass would hide until a real regression ships.
+    """
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        print(f"bench gate: cannot read baseline {path!r}: {error}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as error:
+        print(f"bench gate: baseline {path!r} is not valid JSON: {error}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(baseline, dict):
+        print(f"bench gate: baseline {path!r} is not a JSON object",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return baseline
+
+
+def check_metrics(payload: dict, baseline_path: str, tolerance: float,
+                  metrics: tuple[str, ...]) -> int:
+    """Exit status of the regression gate: 0 ok, 1 regressed.
+
+    Each metric's floor is ``baseline * (1 - tolerance)``; a metric
+    absent from the baseline or the payload is a broken gate
+    (``SystemExit(2)``), not a pass.
+    """
+    baseline = load_baseline(baseline_path)
+    status = 0
+    for metric in metrics:
+        if metric not in baseline:
+            print(f"bench gate: baseline {baseline_path!r} lacks metric "
+                  f"{metric!r}", file=sys.stderr)
+            raise SystemExit(2)
+        if metric not in payload:
+            print(f"bench gate: bench payload lacks metric {metric!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        current = payload[metric]
+        reference = baseline[metric]
+        floor = reference * (1.0 - tolerance)
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{metric}: {current:.2f} vs baseline {reference:.2f} "
+              f"(floor {floor:.2f}) {verdict}")
+        if current < floor:
+            status = 1
+    return status

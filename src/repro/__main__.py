@@ -7,9 +7,9 @@ Commands:
     table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, area,
     power.  ``--workers``/``--cache-dir`` parallelise and cache the
     underlying runs through the campaign engine.
-``campaign [--kind baseline|detection|fault|recovery] [--scheme NAME]
-[--benchmark NAMES] [--trials N] [--workers N] [--cache-dir DIR]
-[--shard K/N] [--manifest DIR] [--json]``
+``campaign [--kind baseline|detection|fault|fault-batch|recovery]
+[--scheme NAME] [--benchmark NAMES] [--trials N] [--batch-size N]
+[--workers N] [--cache-dir DIR] [--shard K/N] [--manifest DIR] [--json]``
     Run a campaign grid through the parallel engine under any registered
     protection scheme (``unprotected``, ``lockstep``, ``rmt``,
     ``detection``).  Identical grids are incremental: a warm cache
@@ -95,11 +95,17 @@ def _build_grid(args: argparse.Namespace, names: list[str]):
     engine and manifest paths, so both name identical jobs)."""
     from repro.common.config import default_config
     from repro.harness.campaign import (
-        detection_grid, fault_grid, recovery_grid, scheme_grid)
+        detection_grid, fault_batch_grid, fault_grid, recovery_grid,
+        scheme_grid)
 
     if args.kind == "fault":
         return fault_grid(names, trials=args.trials, scale=args.scale,
                           seed=args.seed, scheme=args.scheme)
+    if args.kind == "fault-batch":
+        return fault_batch_grid(names, trials=args.trials,
+                                batch_size=args.batch_size,
+                                scale=args.scale, seed=args.seed,
+                                scheme=args.scheme)
     if args.kind == "recovery":
         return recovery_grid(names, trials=args.trials, scale=args.scale,
                              seed=args.seed, scheme=args.scheme)
@@ -381,7 +387,11 @@ def make_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--kind", default="fault",
                         choices=list(JOB_KINDS),
                         help="baseline/detection = fault-free timing; "
-                             "fault = coverage; recovery = rollback")
+                             "fault = coverage; fault-batch = coverage "
+                             "with whole grid cells per job; "
+                             "recovery = rollback")
+    p_camp.add_argument("--batch-size", type=int, default=50,
+                        help="faults per fault-batch job")
     p_camp.add_argument("--scheme", default="detection",
                         choices=list(scheme_names()),
                         help="protection scheme to run the campaign under")

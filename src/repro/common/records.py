@@ -138,6 +138,27 @@ class CoverageRecord:
 
 
 @dataclass(frozen=True)
+class FaultBatchRecord:
+    """One batched fault-injection job: a whole grid cell of trials
+    evaluated in one pass over a single golden trace.
+
+    ``records`` holds one :class:`CoverageRecord` *as its tagged dict*
+    per injected fault, in the cell's fault order — byte-identical to
+    what the same faults produce as individual ``fault`` jobs, so any
+    consumer may flatten a batch into per-fault records and forget the
+    batching ever happened.
+    """
+
+    benchmark: str
+    scale: str
+    config_key: str
+    #: per-fault CoverageRecord dicts, in the cell's fault order
+    records: tuple[dict, ...]
+    #: protection scheme that classified the trials
+    scheme: str = "detection"
+
+
+@dataclass(frozen=True)
 class RecoveryRecord:
     """One detect→rollback→re-execute trial (the recovery extension)."""
 
@@ -195,13 +216,14 @@ class JobFailure:
 
 _RECORD_TYPES = {
     cls.__name__: cls
-    for cls in (BaselineRecord, RunRecord, CoverageRecord, RecoveryRecord,
-                RunSummary, SchemeRunResult, JobLease, JobFailure)
+    for cls in (BaselineRecord, RunRecord, CoverageRecord, FaultBatchRecord,
+                RecoveryRecord, RunSummary, SchemeRunResult, JobLease,
+                JobFailure)
 }
 
 #: Record fields that round-trip through JSON as lists but are tuples in
 #: the frozen dataclasses.
-_TUPLE_FIELDS = {"delays_ns", "checker_busy_ticks"}
+_TUPLE_FIELDS = {"delays_ns", "checker_busy_ticks", "records"}
 
 
 def record_to_dict(record) -> dict:

@@ -159,6 +159,21 @@ class FaultInjector:
         self._machine: Machine | None = None
         self._memop_counter = 0
 
+    def last_execution_seq(self) -> int | None:
+        """The last commit seq at which this injector can still perturb
+        execution, or ``None`` when it must observe every instruction
+        (hard faults strike on every matching opcode).
+
+        Past this seq the commit loop may drop back to the plain
+        handler path: the transient dicts hold no later seqs, so the
+        wrapped ports and :meth:`step` would pass everything through
+        unchanged anyway — skipping them is pure speed, invisible in
+        the committed trace.
+        """
+        if self.hard_faults:
+            return None
+        return max(self.transients, default=-1)
+
     def fork_seq(self, trace_len: int) -> int:
         """The last safe commit seq before this injector's earliest
         fault: golden rows ``[0, fork_seq)`` are provably clean, so a

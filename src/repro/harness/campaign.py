@@ -45,6 +45,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.common.config import SystemConfig, default_config
 from repro.common.records import (
     CoverageRecord,
+    FaultBatchRecord,
     RecoveryRecord,
     RunRecord,
     SchemeRunResult,
@@ -61,6 +62,7 @@ from repro.schemes.base import ProtectionScheme
 # scheme layer alongside its consumers
 from repro.schemes.base import architecturally_masked as architecturally_masked
 from repro.workloads.suite import benchmark_trace, configure_trace_store
+from repro.workloads.trace_store import sweep_stale_temps
 
 #: Bump whenever job execution or record layout changes meaning: every
 #: cached result carries it, so stale caches read as misses, never as
@@ -74,14 +76,19 @@ from repro.workloads.suite import benchmark_trace, configure_trace_store
 #: column comparison) and golden envelopes carry state keyframes —
 #: byte-identical records by construction, re-keyed all the same so a
 #: fork-path defect can never be masked by pre-fork cached results.
-CACHE_SCHEMA_VERSION = 4
+#: v5: the ``fault-batch`` job kind (a whole fault grid cell per job,
+#: one shared fork cursor over one golden trace), specs carry a
+#: ``faults`` tuple, and golden envelopes are binary columnar (store
+#: schema 3) — per-fault records stay byte-identical, but the spec
+#: description grew a field, so every key changes.
+CACHE_SCHEMA_VERSION = 5
 
 #: Subdirectory of a cache root holding the shared golden-trace store
 #: (two-character key prefixes can never collide with it).
 TRACE_STORE_DIRNAME = "traces"
 
 #: Job kinds the engine knows how to execute.
-JOB_KINDS = ("baseline", "detection", "fault", "recovery")
+JOB_KINDS = ("baseline", "detection", "fault", "fault-batch", "recovery")
 
 #: Default scheme per job kind when a spec does not name one: timing
 #: baselines default to the unprotected core; everything else to the
@@ -121,6 +128,8 @@ class JobSpec:
     scale: str = "small"
     config: SystemConfig = field(default_factory=default_config)
     fault: TransientFault | None = None
+    #: the whole fault cell of a ``fault-batch`` job, in record order
+    faults: tuple[TransientFault, ...] = ()
     interrupt_seqs: tuple[int, ...] = ()
     #: protection-scheme registry name; empty resolves to the kind's
     #: default (:data:`DEFAULT_SCHEMES`) so pre-registry call sites keep
@@ -134,10 +143,11 @@ class JobSpec:
 
     def describe(self) -> dict:
         """The canonical description hashed into the cache key."""
-        fault = None
-        if self.fault is not None:
-            fault = asdict(self.fault)
-            fault["site"] = self.fault.site.value
+        def describe_fault(fault: TransientFault) -> dict:
+            payload = asdict(fault)
+            payload["site"] = fault.site.value
+            return payload
+
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "kind": self.kind,
@@ -145,7 +155,9 @@ class JobSpec:
             "benchmark": self.benchmark,
             "scale": self.scale,
             "config": asdict(self.config),
-            "fault": fault,
+            "fault": (describe_fault(self.fault)
+                      if self.fault is not None else None),
+            "faults": [describe_fault(fault) for fault in self.faults],
             "interrupt_seqs": list(self.interrupt_seqs),
         }
 
@@ -219,12 +231,11 @@ def _detection_record(spec: JobSpec, scheme: ProtectionScheme,
     return _run_record(spec, config_key, result)
 
 
-def _fault_record(spec: JobSpec, scheme: ProtectionScheme,
-                  config_key: str) -> CoverageRecord:
-    fault = spec.fault
-    clean = benchmark_trace(spec.benchmark, spec.scale)
-    verdict = scheme.inject(clean, spec.config, fault,
-                            interrupt_seqs=spec.interrupt_seqs)
+def _coverage_record(spec: JobSpec, scheme: ProtectionScheme,
+                     config_key: str, fault: TransientFault,
+                     verdict) -> CoverageRecord:
+    """One classified trial as a record — shared verbatim by the
+    per-fault and batch executors, so their records cannot drift."""
     return CoverageRecord(
         scheme=scheme.name,
         benchmark=spec.benchmark,
@@ -238,6 +249,41 @@ def _fault_record(spec: JobSpec, scheme: ProtectionScheme,
         detect_latency_us=verdict.detect_latency_us,
         first_error_segment=verdict.first_error_segment,
         first_error_entry=verdict.first_error_entry,
+    )
+
+
+def _fault_record(spec: JobSpec, scheme: ProtectionScheme,
+                  config_key: str) -> CoverageRecord:
+    fault = spec.fault
+    clean = benchmark_trace(spec.benchmark, spec.scale)
+    verdict = scheme.inject(clean, spec.config, fault,
+                            interrupt_seqs=spec.interrupt_seqs)
+    return _coverage_record(spec, scheme, config_key, fault, verdict)
+
+
+def _fault_batch_record(spec: JobSpec, scheme: ProtectionScheme,
+                        config_key: str) -> FaultBatchRecord:
+    """A ``fault-batch`` job: one grid cell of faults, one golden trace,
+    one fork cursor (see :meth:`ProtectionScheme.inject_batch`).
+
+    The nested per-fault dicts are exactly what the same faults would
+    produce as individual ``fault`` jobs — pinned by tests, so batch
+    campaigns remain flattenable and comparable against per-job runs.
+    """
+    if not spec.faults:
+        raise ValueError("fault-batch job carries an empty fault cell")
+    clean = benchmark_trace(spec.benchmark, spec.scale)
+    verdicts = scheme.inject_batch(clean, spec.config, spec.faults,
+                                   interrupt_seqs=spec.interrupt_seqs)
+    return FaultBatchRecord(
+        benchmark=spec.benchmark,
+        scale=spec.scale,
+        config_key=config_key,
+        records=tuple(
+            record_to_dict(
+                _coverage_record(spec, scheme, config_key, fault, verdict))
+            for fault, verdict in zip(spec.faults, verdicts)),
+        scheme=scheme.name,
     )
 
 
@@ -275,6 +321,7 @@ _KIND_EXECUTORS = {
     "baseline": _timing_record,
     "detection": _detection_record,
     "fault": _fault_record,
+    "fault-batch": _fault_batch_record,
     "recovery": _recovery_record,
 }
 
@@ -327,6 +374,11 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: crash-stranded ``*.tmp.*`` files removed at init (a worker
+        #: killed between temp write and rename leaks one; anything
+        #: older than a lease TTL cannot belong to a live writer).  The
+        #: trace store nested under this root sweeps its own buckets.
+        self.stale_temps_swept = sweep_stale_temps(self.root)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -478,6 +530,47 @@ def fault_grid(benchmarks: Sequence[str],
                 bit=rng.randrange(0, 48))
             jobs.append(JobSpec(kind, name, scale, cfg, fault=fault,
                                 scheme=scheme))
+    return CampaignGrid(tuple(jobs))
+
+
+def fault_batch_grid(benchmarks: Sequence[str],
+                     trials: int,
+                     batch_size: int = 50,
+                     sites: Sequence[FaultSite] = CAMPAIGN_SITES,
+                     scale: str = "small",
+                     config: SystemConfig | None = None,
+                     seed: int = 0,
+                     scheme: str = "detection") -> CampaignGrid:
+    """The batched counterpart of :func:`fault_grid`: the *same* fault
+    stream (same seed → the identical fault set, fault for fault, as a
+    ``kind="fault"`` grid), chunked into ``fault-batch`` jobs of up to
+    ``batch_size`` faults per cell.
+
+    One batch job amortises fork-state reconstruction and per-job
+    overhead across its whole cell; its record flattens into per-fault
+    records byte-identical to the unbatched grid's.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    cfg = config if config is not None else default_config()
+    get_scheme(scheme)
+    jobs = []
+    for name in benchmarks:
+        clean_len = len(benchmark_trace(name, scale))
+        # the same stream fault_grid draws from: batching must not
+        # change which faults a campaign injects
+        rng = derive(seed, f"campaign:fault:{name}")
+        faults = []
+        for trial in range(trials):
+            site = sites[trial % len(sites)]
+            faults.append(TransientFault(
+                site,
+                seq=rng.randrange(10, clean_len - 10),
+                bit=rng.randrange(0, 48)))
+        for lo in range(0, len(faults), batch_size):
+            jobs.append(JobSpec(
+                "fault-batch", name, scale, cfg,
+                faults=tuple(faults[lo:lo + batch_size]), scheme=scheme))
     return CampaignGrid(tuple(jobs))
 
 

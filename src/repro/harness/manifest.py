@@ -90,11 +90,14 @@ def spec_from_description(desc: dict,
     JSON.  ``_config_memo`` lets bulk loaders share reconstructed
     configs across the many jobs of one grid that differ only in fault.
     """
+    def fault_from_fields(fields: dict) -> TransientFault:
+        fault_fields = dict(fields)
+        fault_fields["site"] = FaultSite(fault_fields["site"])
+        return TransientFault(**fault_fields)
+
     fault = None
     if desc["fault"] is not None:
-        fault_fields = dict(desc["fault"])
-        fault_fields["site"] = FaultSite(fault_fields["site"])
-        fault = TransientFault(**fault_fields)
+        fault = fault_from_fields(desc["fault"])
     config_json = canonical_json(desc["config"])
     if _config_memo is not None and config_json in _config_memo:
         config = _config_memo[config_json]
@@ -108,6 +111,8 @@ def spec_from_description(desc: dict,
         scale=desc["scale"],
         config=config,
         fault=fault,
+        faults=tuple(fault_from_fields(fields)
+                     for fields in desc.get("faults", ())),
         interrupt_seqs=tuple(desc["interrupt_seqs"]),
         scheme=desc["scheme"],
     )

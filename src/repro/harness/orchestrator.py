@@ -327,7 +327,14 @@ def summarize_result(kind: str, result: CampaignResult,
     outcomes: dict[str, int] = {}
     detect_latencies: list[float] = []
     activated = detected = 0
+    records: list[dict] = []
     for record in result.records:
+        if record.get("record_type") == "FaultBatchRecord":
+            # a batch job is just its per-fault records, flattened
+            records.extend(record["records"])
+        else:
+            records.append(record)
+    for record in records:
         if "outcome" in record:
             outcome = record["outcome"]
         elif not record.get("activated"):

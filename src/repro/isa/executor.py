@@ -47,6 +47,11 @@ from repro.isa.instructions import (
 from repro.isa.memory_image import MemoryImage, bits_to_float, float_to_bits
 from repro.isa.program import DecodedInstr, HANDLER_OPS, Program, predecode
 
+try:  # the vectorised column paths are optional accelerations
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 # MemOp kinds
 LOAD = 0
 STORE = 1
@@ -935,15 +940,28 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
                  pcs, dsts_col, takens,
                  mem_off, mem_kind, mem_addr, mem_value, mem_used,
                  seq: int, uops: int, loads: int, stores: int,
+                 stop_seq: int | None = None,
                  ) -> tuple[int, int, int, bool]:
     """The one commit loop shared by :func:`execute_program` and
     :func:`execute_forked`: run ``machine`` until halt or crash,
     appending every committed row to the caller's columns (which may
     already hold a spliced prefix — ``seq`` and the counters continue
     from it).  Returns the final ``(uops, loads, stores, crashed)``.
+
+    ``stop_seq`` ends commitment (without halting or crashing) once
+    ``seq`` reaches it — for callers like activation-only fault
+    verdicts that provably never read the trace past that point.
     """
     program = machine.program
     inject = fault_injector is not None
+    # last seq the injector can still act on; later rows take the plain
+    # handler path (the injector would pass them through unchanged, at
+    # the cost of a per-instruction wrapper) while keeping the injected
+    # run's trap semantics
+    inject_until = -1
+    if inject:
+        last = fault_injector.last_execution_seq()
+        inject_until = max_instructions if last is None else last
     steps = machine._steps
     uops_table = _uops_by_pc(program)
 
@@ -956,10 +974,14 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
     value_append = mem_value.append
     used_append = mem_used.append
 
+    limit = (max_instructions if stop_seq is None
+             else min(stop_seq, max_instructions))
     entries = mem_off[-1]
     crashed = False
     while not machine.halted:
-        if seq >= max_instructions:
+        if seq >= limit:
+            if seq < max_instructions:
+                break  # stop_seq reached: the caller needs nothing more
             if inject:
                 # a fault sent the program into a runaway loop: §IV-J's
                 # timeouts bound detection; the run ends here
@@ -969,7 +991,7 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
                 f"{program.name}: exceeded {max_instructions} instructions "
                 f"(infinite loop?)")
         pc = machine.pc
-        if inject:
+        if inject and seq <= inject_until:
             try:
                 dsts, mem, taken = fault_injector.step(machine, seq)
             except ExecutionError:
@@ -984,7 +1006,15 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
             except IndexError:
                 raise AssemblyError(
                     f"instruction fetch out of range: pc={pc}") from None
-            dsts, mem, taken = fn(machine)
+            if inject:
+                # state corrupted earlier can still trap here
+                try:
+                    dsts, mem, taken = fn(machine)
+                except ExecutionError:
+                    crashed = True
+                    break
+            else:
+                dsts, mem, taken = fn(machine)
             machine.instr_count = seq + 1
 
         pcs_append(pc)
@@ -1012,12 +1042,15 @@ def execute_program(
     program: Program,
     fault_injector=None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    stop_seq: int | None = None,
 ) -> Trace:
     """Run ``program`` to completion on the (simulated) main core.
 
     ``fault_injector`` is an optional :class:`repro.detection.faults.FaultInjector`
     applied at the architectural fault sites; ``None`` is the fault-free
-    fast path.  Returns the committed columnar :class:`Trace`.
+    fast path.  ``stop_seq`` truncates commitment at that seq for
+    callers that never read further (see :func:`_commit_loop`).
+    Returns the committed columnar :class:`Trace`.
     """
     memory = program.initial_memory()
     machine = Machine(program, memory=memory)
@@ -1037,7 +1070,7 @@ def execute_program(
         machine, fault_injector, max_instructions,
         pcs, dsts_col, takens,
         mem_off, mem_kind, mem_addr, mem_value, mem_used,
-        seq=0, uops=0, loads=0, stores=0)
+        seq=0, uops=0, loads=0, stores=0, stop_seq=stop_seq)
 
     return Trace(
         program,
@@ -1133,6 +1166,10 @@ class Keyframes:
         return cls(int(payload["interval"]), frames)
 
 
+#: Below this many rows the plain Python replay beats the numpy setup.
+_VECTOR_MIN_ROWS = 48
+
+
 def _replay_rows(trace: Trace, start: int, stop: int,
                  xregs, fregs, mem,
                  uops: int, loads: int, stores: int) -> tuple[int, int, int]:
@@ -1142,14 +1179,47 @@ def _replay_rows(trace: Trace, start: int, stop: int,
     :func:`build_keyframes`), returning the updated cumulative counts.
     This is the one definition of what committing a row does to
     architectural state outside the live machine.
+
+    When the range is large enough and numpy is available, the memory
+    side (store application, load/store counts) and the uop sum run as
+    whole-column vector operations; register writebacks stay a ragged
+    per-row walk.  Both paths produce identical state: store application
+    order is preserved (``dict.update`` over entries in commit order is
+    last-write-wins exactly like the per-row loop), and every value that
+    lands in a container is a Python ``int``.
     """
     pcs = trace.pcs
     dsts = trace.dsts
+    uops_table = _uops_by_pc(trace.program)
+    if _np is not None and stop - start >= _VECTOR_MIN_ROWS:
+        for seq in range(start, stop):
+            for is_fp, idx, value in dsts[seq]:
+                if is_fp:
+                    fregs[idx] = value
+                else:
+                    xregs[idx] = value
+        lo, hi = trace.mem_off[start], trace.mem_off[stop]
+        kinds = _np.frombuffer(trace.mem_kind, dtype=_np.int8)[lo:hi]
+        store_mask = kinds == STORE
+        n_stores = int(store_mask.sum())
+        if n_stores:
+            addrs = _np.frombuffer(
+                trace.mem_addr, dtype=_np.uint64)[lo:hi][store_mask]
+            values = _np.frombuffer(
+                trace.mem_value, dtype=_np.uint64)[lo:hi][store_mask]
+            # zip of .tolist() keeps commit order → last write wins, and
+            # yields Python ints (no numpy scalars leak into state)
+            mem.update(zip(addrs.tolist(), values.tolist()))
+        stores += n_stores
+        loads += int((kinds == LOAD).sum())
+        pcs_slice = _np.frombuffer(pcs, dtype=_np.uint64)[start:stop]
+        uops += int(_np.asarray(uops_table, dtype=_np.int64)
+                    .take(pcs_slice).sum())
+        return uops, loads, stores
     mem_off = trace.mem_off
     mem_kind = trace.mem_kind
     mem_addr = trace.mem_addr
     mem_value = trace.mem_value
-    uops_table = _uops_by_pc(trace.program)
     for seq in range(start, stop):
         for is_fp, idx, value in dsts[seq]:
             if is_fp:
@@ -1238,11 +1308,100 @@ def fork_state(trace: Trace, fork_seq: int) -> ForkState:
     return ForkState(xregs, fregs, memory, pc, uops, loads, stores)
 
 
+class ForkCursor:
+    """Monotone fork-state producer over one golden trace.
+
+    A batch of fault jobs against the same golden trace asks for fork
+    states at many (sorted) seqs.  :func:`fork_state` rebuilds each one
+    from scratch — keyframes plus up to one interval of column replay
+    *per fault*.  The cursor instead keeps one reconstruction advancing
+    in place: moving from the previous fork seq to the next applies only
+    the rows (and keyframes) in between, so a whole batch costs one walk
+    over the prefix plus per-fault state copies.
+
+    ``state(golden, fork_seq)`` matches the ``state_source`` signature
+    of :func:`execute_forked` and returns a :class:`ForkState` equal to
+    ``fork_state(golden, fork_seq)`` — same values, same types — with
+    fresh containers (the live machine mutates them).  Fork seqs must be
+    non-decreasing; feed it faults sorted by fork seq.
+    """
+
+    __slots__ = ("golden", "_seq", "_xregs", "_fregs", "_memory",
+                 "_uops", "_loads", "_stores")
+
+    def __init__(self, golden: Trace) -> None:
+        if not golden.halted or golden.crashed:
+            raise ExecutionError(
+                "can only fork a clean, completely executed golden trace")
+        self.golden = golden
+        self._seq = 0
+        self._xregs = [0] * NUM_INT_REGS
+        self._fregs = [0.0] * NUM_FP_REGS
+        self._memory = golden.program.initial_memory()
+        self._uops = self._loads = self._stores = 0
+
+    def state(self, golden: Trace, fork_seq: int) -> ForkState:
+        if golden is not self.golden:
+            raise ExecutionError(
+                "fork cursor is bound to a different golden trace")
+        total = len(golden)
+        if not 0 <= fork_seq <= total:
+            raise ExecutionError(f"fork seq {fork_seq} outside 0..{total}")
+        if fork_seq < self._seq:
+            raise ExecutionError(
+                f"fork cursor cannot rewind from {self._seq} to {fork_seq}; "
+                f"sort faults by fork seq")
+        xregs, fregs = self._xregs, self._fregs
+        mem_words = self._memory._words
+        start = self._seq
+        # a keyframe delta holds each touched location's value *at* the
+        # boundary, so applying it on top of any state inside the frame's
+        # interval lands exactly on the boundary state — the cursor can
+        # fast-forward through frames from an arbitrary mid-interval seq
+        for frame in golden.keyframes().frames:
+            if frame.seq <= start:
+                continue
+            if frame.seq > fork_seq:
+                break
+            for idx, value in frame.xregs.items():
+                xregs[idx] = value
+            for idx, value in frame.fregs.items():
+                fregs[idx] = value
+            mem_words.update(frame.mem)
+            self._uops, self._loads, self._stores = (
+                frame.uops, frame.loads, frame.stores)
+            start = frame.seq
+        self._uops, self._loads, self._stores = _replay_rows(
+            golden, start, fork_seq, xregs, fregs, mem_words,
+            self._uops, self._loads, self._stores)
+        self._seq = fork_seq
+        pc = golden.pcs[fork_seq] if fork_seq < total else golden.final_next_pc
+        return ForkState(list(xregs), list(fregs), self._memory.copy(), pc,
+                         self._uops, self._loads, self._stores)
+
+
+def _column_slice(col, stop: int, typecode: str) -> array:
+    """Mutable ``array`` copy of ``col[:stop]``.
+
+    Golden columns are ``array`` objects for in-process traces but
+    read-only memory-mapped views for traces loaded from the binary
+    store; the commit loop appends to the spliced columns, so the fork
+    path always splices into a real ``array``.
+    """
+    if isinstance(col, array):
+        return col[:stop]
+    out = array(typecode)
+    out.frombytes(bytes(col[:stop]))
+    return out
+
+
 def execute_forked(
     golden: Trace,
     fault_injector=None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     fork_seq: int | None = None,
+    state_source=None,
+    stop_seq: int | None = None,
 ) -> Trace:
     """Re-run ``golden``'s program with faults, executing only from the
     fork point.
@@ -1255,6 +1414,15 @@ def execute_forked(
     starts from the reconstructed fork state.  The returned trace
     carries ``fork_of``/``fork_seq`` so the detection side can verify
     pre-fork segments by column comparison instead of replay.
+
+    ``state_source`` substitutes the fork-state producer — a callable
+    with :func:`fork_state`'s signature returning an equal state, e.g.
+    a batch job's shared :class:`ForkCursor` — and must be semantically
+    identical to it; the default is :func:`fork_state` itself.
+
+    ``stop_seq`` ends live execution once that seq commits, for callers
+    whose verdict provably never reads the trace past it (activation-only
+    schemes); the returned trace is then truncated and un-halted.
     """
     if not golden.halted or golden.crashed:
         raise ExecutionError(
@@ -1266,7 +1434,8 @@ def execute_forked(
                     if fault_injector is not None else total)
     fork_seq = min(max(fork_seq, 0), total)
 
-    state = fork_state(golden, fork_seq)
+    state = (state_source if state_source is not None
+             else fork_state)(golden, fork_seq)
     machine = Machine(program, memory=state.memory, pc=state.pc)
     machine.set_registers(state.xregs, state.fregs)
     machine.instr_count = fork_seq
@@ -1275,22 +1444,22 @@ def execute_forked(
         fault_injector.attach(machine)
 
     # splice the golden prefix (array/list slices: bulk C-level copies)
-    pcs = golden.pcs[:fork_seq]
+    pcs = _column_slice(golden.pcs, fork_seq, "Q")
     dsts_col = list(golden.dsts[:fork_seq])
-    takens = golden.takens[:fork_seq]
-    mem_off = golden.mem_off[:fork_seq + 1]
+    takens = _column_slice(golden.takens, fork_seq, "b")
+    mem_off = _column_slice(golden.mem_off, fork_seq + 1, "Q")
     entries = mem_off[-1]
-    mem_kind = golden.mem_kind[:entries]
-    mem_addr = golden.mem_addr[:entries]
-    mem_value = golden.mem_value[:entries]
-    mem_used = golden.mem_used[:entries]
+    mem_kind = _column_slice(golden.mem_kind, entries, "b")
+    mem_addr = _column_slice(golden.mem_addr, entries, "Q")
+    mem_value = _column_slice(golden.mem_value, entries, "Q")
+    mem_used = _column_slice(golden.mem_used, entries, "Q")
 
     uops, loads, stores, crashed = _commit_loop(
         machine, fault_injector, max_instructions,
         pcs, dsts_col, takens,
         mem_off, mem_kind, mem_addr, mem_value, mem_used,
         seq=fork_seq, uops=state.uops, loads=state.loads,
-        stores=state.stores)
+        stores=state.stores, stop_seq=stop_seq)
 
     trace = Trace(
         program,

@@ -31,7 +31,12 @@ from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
 from repro.detection.faults import FaultInjector, HardFault, TransientFault
-from repro.isa.executor import Trace, execute_forked, execute_program
+from repro.isa.executor import (
+    ForkCursor,
+    Trace,
+    execute_forked,
+    execute_program,
+)
 from repro.isa.memory_image import float_to_bits
 
 #: Environment switch for fork-point fault execution: set to ``0`` to
@@ -143,6 +148,22 @@ class ProtectionScheme(abc.ABC):
     #: instead of re-executing the clean prefix (any scheme whose
     #: ``inject`` produces the faulty run with :meth:`faulty_trace`)
     supports_fork_injection: bool = False
+    #: ``classify`` reads the faulty trace's architectural outcome
+    #: (final state, length, crash flag).  Schemes that classify from
+    #: the activation list alone — lockstep and RMT detect any committed
+    #: divergence at the comparator, long before the program ends — set
+    #: this False, and injection stops executing once the last fault has
+    #: had its chance to strike: the discarded suffix cannot change the
+    #: verdict, so the records stay byte-identical.
+    verdict_needs_outcome: bool = True
+
+    def _stop_seq(self, injector: FaultInjector) -> int | None:
+        """Earliest seq injection may stop at without changing this
+        scheme's verdict, or None when it must run to completion."""
+        if self.verdict_needs_outcome:
+            return None
+        last = injector.last_execution_seq()
+        return None if last is None else last + 1
 
     def faulty_trace(
         self, clean: Trace, fault: TransientFault | HardFault,
@@ -154,25 +175,73 @@ class ProtectionScheme(abc.ABC):
         when the scheme supports it and :data:`FORK_INJECTION_ENV` does
         not veto it; otherwise a full re-execution.  Both paths return
         byte-identical traces and activation lists, so which one ran is
-        unobservable in any record.
+        unobservable in any record.  Schemes whose verdict never reads
+        the outcome additionally stop right after the last fault seq
+        (again on both paths, so the identity between them holds).
         """
         injector = FaultInjector([fault])
+        stop_seq = self._stop_seq(injector)
         if self.supports_fork_injection and fork_injection_enabled():
-            faulty = execute_forked(clean, injector)
+            faulty = execute_forked(clean, injector, stop_seq=stop_seq)
         else:
-            faulty = execute_program(clean.program, fault_injector=injector)
+            faulty = execute_program(clean.program, fault_injector=injector,
+                                     stop_seq=stop_seq)
         return injector, faulty
 
     @abc.abstractmethod
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         """Time ``trace`` under this scheme (fault-free)."""
 
-    @abc.abstractmethod
     def inject(self, trace: Trace, config: SystemConfig,
                fault: TransientFault,
                interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
         """Inject ``fault`` into a run of ``trace``'s program and classify
         the outcome.  ``trace`` is the *clean* reference execution."""
+        injector, faulty = self.faulty_trace(trace, fault)
+        return self.classify(trace, config, fault, injector, faulty,
+                             interrupt_seqs)
+
+    def inject_batch(self, trace: Trace, config: SystemConfig,
+                     faults: tuple[TransientFault, ...],
+                     interrupt_seqs: tuple[int, ...] = (),
+                     ) -> list[FaultVerdict]:
+        """Classify a whole grid cell of faults against one golden trace.
+
+        The batch path amortises fork-state reconstruction: faults are
+        evaluated in fork-seq order through one :class:`ForkCursor`, so
+        the golden columns are replayed once *total* (each row at most
+        once across the whole cell) instead of once per fault.  Verdicts
+        come back in the caller's fault order and are byte-identical to
+        ``[self.inject(trace, ...) for each fault]`` — the cursor is the
+        same pure function of (golden, fork_seq) that ``fork_state``
+        computes, and classification is shared code.
+        """
+        faults = list(faults)
+        if not (self.supports_fork_injection and fork_injection_enabled()):
+            return [self.inject(trace, config, fault, interrupt_seqs)
+                    for fault in faults]
+        total = len(trace)
+        order = sorted(
+            range(len(faults)),
+            key=lambda i: FaultInjector([faults[i]]).fork_seq(total))
+        cursor = ForkCursor(trace)
+        verdicts: list[FaultVerdict | None] = [None] * len(faults)
+        for i in order:
+            injector = FaultInjector([faults[i]])
+            faulty = execute_forked(trace, injector,
+                                    state_source=cursor.state,
+                                    stop_seq=self._stop_seq(injector))
+            verdicts[i] = self.classify(trace, config, faults[i], injector,
+                                        faulty, interrupt_seqs)
+        return verdicts
+
+    @abc.abstractmethod
+    def classify(self, clean: Trace, config: SystemConfig,
+                 fault: TransientFault, injector: FaultInjector,
+                 faulty: Trace,
+                 interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
+        """Classify one injection trial given its committed faulty trace
+        (produced by :meth:`faulty_trace` or the batch cursor path)."""
 
     @abc.abstractmethod
     def overheads(self, timing: SchemeTiming,

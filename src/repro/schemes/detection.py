@@ -52,10 +52,9 @@ class ParallelDetectionScheme(ProtectionScheme):
             detection_latency_ns=result.report.mean_delay_ns(),
         )
 
-    def inject(self, trace: Trace, config: SystemConfig,
-               fault: TransientFault,
-               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector, faulty = self.faulty_trace(trace, fault)
+    def classify(self, clean: Trace, config: SystemConfig,
+                 fault: TransientFault, injector, faulty: Trace,
+                 interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
         detection_side = fault.site in (FaultSite.CHECKPOINT,
                                         FaultSite.CHECKER)
         activated = bool(injector.activations) or detection_side
@@ -76,7 +75,7 @@ class ParallelDetectionScheme(ProtectionScheme):
                 detect_latency_us=ticks_to_us(
                     event.detect_tick - event.segment_close_tick),
                 first_error_segment=segment, first_error_entry=entry)
-        if architecturally_masked(trace, faulty):
+        if architecturally_masked(clean, faulty):
             return FaultVerdict(activated=True, outcome="masked")
         return FaultVerdict(activated=True, outcome="escaped")
 

@@ -38,6 +38,9 @@ class LockstepScheme(ProtectionScheme):
     covers_hard_faults = True
     supports_recovery = False
     supports_fork_injection = True
+    # the comparator verdict is pure activation: any committed divergence
+    # is detected at constant latency, so injection stops at the fault
+    verdict_needs_outcome = False
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         result = run_lockstep(trace, config)
@@ -49,10 +52,9 @@ class LockstepScheme(ProtectionScheme):
             detection_latency_ns=result.detection_latency_ns,
         )
 
-    def inject(self, trace: Trace, config: SystemConfig,
-               fault: TransientFault,
-               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector, _faulty = self.faulty_trace(trace, fault)
+    def classify(self, clean: Trace, config: SystemConfig,
+                 fault: TransientFault, injector, _faulty: Trace,
+                 interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
         # an activated fault changed a committed value on exactly one of

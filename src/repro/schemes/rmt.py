@@ -34,6 +34,10 @@ class RMTScheme(ProtectionScheme):
     covers_hard_faults = False
     supports_recovery = False
     supports_fork_injection = True
+    # the trailing-thread verdict is pure activation: any committed
+    # divergence is caught one instruction window later, so injection
+    # stops at the fault
+    verdict_needs_outcome = False
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         result = run_rmt(trace, config)
@@ -45,10 +49,9 @@ class RMTScheme(ProtectionScheme):
             detection_latency_ns=result.detection_latency_ns,
         )
 
-    def inject(self, trace: Trace, config: SystemConfig,
-               fault: TransientFault,
-               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector, _faulty = self.faulty_trace(trace, fault)
+    def classify(self, clean: Trace, config: SystemConfig,
+                 fault: TransientFault, injector, _faulty: Trace,
+                 interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
         # the trailing thread lags by roughly the instruction window; the

@@ -42,13 +42,12 @@ class UnprotectedScheme(ProtectionScheme):
             detection_latency_ns=None,
         )
 
-    def inject(self, trace: Trace, config: SystemConfig,
-               fault: TransientFault,
-               interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
-        injector, faulty = self.faulty_trace(trace, fault)
+    def classify(self, clean: Trace, config: SystemConfig,
+                 fault: TransientFault, injector, faulty: Trace,
+                 interrupt_seqs: tuple[int, ...] = ()) -> FaultVerdict:
         if not injector.activations:
             return FaultVerdict(activated=False, outcome="not_activated")
-        if architecturally_masked(trace, faulty):
+        if architecturally_masked(clean, faulty):
             return FaultVerdict(activated=True, outcome="masked")
         return FaultVerdict(activated=True, outcome="escaped")
 

@@ -1,0 +1,90 @@
+"""Tests for the shared bench regression gate (``benchmarks/gate.py``).
+
+The gate's one invariant: a broken gate must never look like a passing
+gate.  Missing baseline files, garbled JSON, and absent metrics exit 2
+loudly; only a real metric comparison can return 0 (ok) or 1
+(regressed).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "gate.py")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("bench_gate_under_test",
+                                                  GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_baseline(tmp_path: Path, payload) -> str:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestBrokenGateFailsLoudly:
+    def test_missing_baseline_exits_2(self, gate, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            gate.load_baseline(str(tmp_path / "absent.json"))
+        assert exc.value.code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_unparseable_baseline_exits_2(self, gate, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        path.write_text("{ not json at all")
+        with pytest.raises(SystemExit) as exc:
+            gate.load_baseline(str(path))
+        assert exc.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_object_baseline_exits_2(self, gate, tmp_path, capsys):
+        path = write_baseline(tmp_path, [1, 2, 3])
+        with pytest.raises(SystemExit) as exc:
+            gate.load_baseline(path)
+        assert exc.value.code == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_baseline_lacking_metric_exits_2(self, gate, tmp_path, capsys):
+        path = write_baseline(tmp_path, {"mean_fps": 100.0})
+        with pytest.raises(SystemExit) as exc:
+            gate.check_metrics({"mean_fps": 90.0, "mean_ips": 5.0},
+                               path, 0.3, ("mean_fps", "mean_ips"))
+        assert exc.value.code == 2
+        assert "lacks metric 'mean_ips'" in capsys.readouterr().err
+
+    def test_payload_lacking_metric_exits_2(self, gate, tmp_path, capsys):
+        path = write_baseline(tmp_path, {"mean_fps": 100.0})
+        with pytest.raises(SystemExit) as exc:
+            gate.check_metrics({}, path, 0.3, ("mean_fps",))
+        assert exc.value.code == 2
+        assert "payload lacks metric 'mean_fps'" in capsys.readouterr().err
+
+
+class TestComparison:
+    def test_ok_within_tolerance(self, gate, tmp_path, capsys):
+        path = write_baseline(tmp_path, {"mean_fps": 100.0})
+        assert gate.check_metrics({"mean_fps": 71.0}, path, 0.3,
+                                  ("mean_fps",)) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_returns_1(self, gate, tmp_path, capsys):
+        path = write_baseline(tmp_path, {"mean_fps": 100.0,
+                                         "mean_ips": 50.0})
+        assert gate.check_metrics({"mean_fps": 69.0, "mean_ips": 50.0},
+                                  path, 0.3,
+                                  ("mean_fps", "mean_ips")) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        # every metric is still reported, not just the failing one
+        assert "mean_ips" in out

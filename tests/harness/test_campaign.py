@@ -14,6 +14,7 @@ from repro.harness.campaign import (
     config_fingerprint,
     detection_grid,
     execute_job,
+    fault_batch_grid,
     fault_grid,
     recovery_grid,
 )
@@ -144,6 +145,22 @@ class TestGrids:
         for job in grid:
             assert job.kind == "recovery"
             assert job.fault.site is FaultSite.STORE_VALUE
+
+    def test_fault_batch_grid_draws_same_fault_stream(self):
+        """Batching must not change which faults a campaign injects:
+        the batched grid's cells concatenate to exactly the unbatched
+        grid's faults, same seed, fault for fault."""
+        grid = fault_grid(["stream", "bitcount"], trials=7, seed=3)
+        batched = fault_batch_grid(["stream", "bitcount"], trials=7,
+                                   batch_size=3, seed=3)
+        assert [f for job in batched for f in job.faults] == \
+            [job.fault for job in grid]
+        assert all(job.kind == "fault-batch" for job in batched)
+        assert [len(job.faults) for job in batched] == [3, 3, 1, 3, 3, 1]
+
+    def test_fault_batch_grid_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch size"):
+            fault_batch_grid(["stream"], trials=4, batch_size=0)
 
 
 class TestExecuteJob:

@@ -210,6 +210,79 @@ class TestWorkers:
         assert results[0].failed == results[1].failed == 0
         assert manifest_status(manifest)["complete"]
 
+    def test_workers_racing_on_cold_store_share_one_envelope(
+            self, tmp_path, grid, monkeypatch):
+        """Extension of the two-worker acceptance: the shared
+        golden-trace store starts cold, both workers race to warm it,
+        and exactly one valid binary envelope results — the store's
+        atomic publish means the race cannot leave a torn file.  Once
+        the store is warm, no worker ever re-runs the clean execution:
+        it forks the stored columns instead."""
+        import repro.workloads.suite as suite
+        from repro.harness.campaign import (
+            TRACE_STORE_DIRNAME,
+            CampaignEngine,
+        )
+        from repro.workloads.suite import configure_trace_store
+        from repro.workloads.trace_store import TraceStore
+
+        calls: list[str] = []
+        real = suite.execute_program
+
+        def counting(program, *args, **kwargs):
+            calls.append(program.name)
+            return real(program, *args, **kwargs)
+
+        monkeypatch.setattr(suite, "execute_program", counting)
+        configure_trace_store(None)  # drop memos from earlier tests
+        try:
+            manifest = CampaignManifest.create(tmp_path / "m", grid)
+            workers = [
+                CampaignWorker(CampaignManifest.load(tmp_path / "m"),
+                               worker_id=f"w{i}", batch_size=2)
+                for i in range(2)
+            ]
+            threads = [threading.Thread(target=w.run) for w in workers]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert manifest_status(manifest)["complete"]
+
+            store_dir = tmp_path / "m" / TRACE_STORE_DIRNAME
+            envelopes = sorted(store_dir.glob("*/*.bin"))
+            assert len(envelopes) == 1
+            # the surviving envelope is complete and loadable
+            store = TraceStore(store_dir)
+            program = suite.benchmark_program("stream", "small")
+            trace = store.get(store.key("stream", "small", program),
+                              program)
+            assert trace is not None and len(trace) > 0
+            assert store.corrupt == 0
+            # the clean execution ran at most once per racing worker
+            # (each may miss before the first publish), never once per
+            # job — 8 fault jobs, ≤ 2 clean runs
+            assert 1 <= len(calls) <= len(workers)
+
+            # warm-store phase: a fresh process-memo plus a tripwire on
+            # the clean executor proves every further campaign over the
+            # same store forks the stored envelope instead (the grid is
+            # built first — sizing its faults may use the warm memo)
+            other = fault_grid(["stream"], trials=4, scale="small", seed=2)
+            configure_trace_store(None)
+
+            def boom(program, *args, **kwargs):
+                raise AssertionError(
+                    "clean execution despite a warm golden-trace store")
+
+            monkeypatch.setattr(suite, "execute_program", boom)
+            engine = CampaignEngine(cache_dir=tmp_path / "cache2",
+                                    trace_store_dir=store_dir)
+            result = engine.run(list(other))
+            assert len(result.records) == len(other)
+        finally:
+            configure_trace_store(None)
+
     def test_worker_max_jobs_releases_leases(self, manifest):
         stats = CampaignWorker(manifest, worker_id="w",
                                batch_size=4).run(max_jobs=3)

@@ -16,10 +16,12 @@ from repro.detection.checker import SegmentChecker
 from repro.detection.faults import FaultInjector, FaultSite, TransientFault
 from repro.detection.system import run_with_detection
 from repro.harness.campaign import JobSpec, execute_job
+from repro.harness.manifest import CampaignManifest
+from repro.harness.orchestrator import CampaignWorker, collect
 from repro.isa.executor import execute_forked, execute_program
 from repro.schemes import get_scheme, scheme_names
 from repro.schemes.base import FORK_INJECTION_ENV, fork_injection_enabled
-from repro.workloads.suite import benchmark_trace
+from repro.workloads.suite import benchmark_trace, configure_trace_store
 
 
 @pytest.fixture()
@@ -88,6 +90,89 @@ class TestCoverageRecordIdentity:
                          offset=300)
         full, forked = fork_modes(lambda: execute_job(spec))
         assert canonical_json(full) == canonical_json(forked)
+
+
+class TestFaultBatchIdentity:
+    """The ``fault-batch`` executor is a pure batching of the per-fault
+    path: same verdicts, byte-identical records, in the caller's order —
+    whatever order the shared fork cursor actually evaluates in."""
+
+    SCHEMES = ["detection", "lockstep", "rmt", "unprotected"]
+
+    @staticmethod
+    def cell(scheme: str, benchmark: str = "stream") -> JobSpec:
+        clean_len = len(benchmark_trace(benchmark, "small"))
+        # deliberately unsorted seqs, mixed sites, and two faults sharing
+        # a fork seq: the batch path must order by fork seq internally
+        # yet answer (and record) in this order
+        faults = (
+            TransientFault(FaultSite.RESULT, seq=clean_len - 40, bit=4),
+            TransientFault(FaultSite.BRANCH, seq=clean_len - 200, bit=0),
+            TransientFault(FaultSite.STORE_VALUE, seq=clean_len - 40, bit=9),
+            TransientFault(FaultSite.LOAD_ADDR, seq=clean_len - 500, bit=12),
+            TransientFault(FaultSite.PC, seq=clean_len - 90, bit=1),
+        )
+        return JobSpec("fault-batch", benchmark, "small", faults=faults,
+                       scheme=scheme)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_inject_batch_equals_per_fault_inject(self, scheme, monkeypatch):
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        spec = self.cell(scheme)
+        obj = get_scheme(scheme)
+        clean = benchmark_trace("stream", "small")
+        config = default_config()
+        batch = obj.inject_batch(clean, config, spec.faults)
+        assert batch == [obj.inject(clean, config, fault)
+                         for fault in spec.faults]
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_batch_records_byte_identical_to_fault_jobs(self, scheme,
+                                                        fork_modes):
+        spec = self.cell(scheme)
+        full, forked = fork_modes(lambda: execute_job(spec))
+        assert canonical_json(full) == canonical_json(forked)
+        per_job = [execute_job(JobSpec("fault", spec.benchmark, spec.scale,
+                                       fault=fault, scheme=scheme))
+                   for fault in spec.faults]
+        assert canonical_json(list(forked["records"])) == \
+            canonical_json(per_job)
+
+    def test_empty_cell_rejected(self):
+        spec = JobSpec("fault-batch", "stream", "small", faults=(),
+                       scheme="lockstep")
+        with pytest.raises(ValueError, match="empty fault cell"):
+            execute_job(spec)
+
+    def test_activation_only_truncation_invisible(self, monkeypatch):
+        """Lockstep classifies from the activation list alone, so
+        injection stops right after the last fault seq; forcing it to
+        run every trial to completion must give identical verdicts."""
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        clean = benchmark_trace("stream", "small")
+        config = default_config()
+        obj = get_scheme("lockstep")
+        faults = self.cell("lockstep").faults
+        truncated = [obj.inject(clean, config, fault) for fault in faults]
+        monkeypatch.setattr(type(obj), "verdict_needs_outcome", True)
+        complete = [obj.inject(clean, config, fault) for fault in faults]
+        assert truncated == complete
+
+    def test_batch_job_survives_manifest_worker(self, tmp_path, monkeypatch):
+        """A fault-batch job must round-trip the manifest (describe →
+        JSON → spec) and produce the same bytes through a lease-driven
+        worker as a direct serial execution."""
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        spec = self.cell("lockstep")
+        serial = execute_job(spec)
+        manifest = CampaignManifest.create(tmp_path / "m", [spec])
+        try:
+            stats = CampaignWorker(manifest, worker_id="w").run()
+            merged = collect(manifest)
+        finally:
+            configure_trace_store(None)
+        assert stats.executed == 1 and stats.failed == 0
+        assert merged.records_json() == canonical_json([serial])
 
 
 class TestNaNStateMasking:

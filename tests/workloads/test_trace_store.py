@@ -1,12 +1,17 @@
 """Tests for the shared content-addressed golden-trace store."""
 
 import json
+import os
+import struct
+import time
 
 import pytest
 
 import repro.workloads.suite as suite
 from repro.isa.executor import execute_program
+from repro.isa.instructions import MASK64, Opcode
 from repro.isa.memory_image import float_to_bits
+from repro.isa.program import ProgramBuilder
 from repro.workloads.suite import (
     benchmark_program,
     benchmark_trace,
@@ -14,9 +19,12 @@ from repro.workloads.suite import (
     configure_trace_store,
 )
 from repro.workloads.trace_store import (
+    ENVELOPE_MAGIC,
+    STALE_TEMP_TTL,
     TRACE_STORE_SCHEMA,
     TraceStore,
     program_fingerprint,
+    sweep_stale_temps,
 )
 
 from tests.conftest import build_rmw_loop
@@ -31,6 +39,24 @@ def isolated_store():
     yield
     configure_trace_store(None)
     suite._TRACE_CACHE.clear()
+
+
+def patch_header(path, **changes):
+    """Rewrite a binary envelope with a modified header (block offsets
+    are relative to the header's end, so resizing it is safe)."""
+    buf = path.read_bytes()
+    (header_len,) = struct.unpack_from("<I", buf, 4)
+    header = json.loads(buf[8:8 + header_len])
+    data_start = (8 + header_len + 7) & ~7
+    header.update(changes)
+    header_bytes = json.dumps(header).encode()
+    new_start = (8 + len(header_bytes) + 7) & ~7
+    out = bytearray(new_start + len(buf) - data_start)
+    out[:4] = buf[:4]
+    struct.pack_into("<I", out, 4, len(header_bytes))
+    out[8:8 + len(header_bytes)] = header_bytes
+    out[new_start:] = buf[data_start:]
+    path.write_bytes(bytes(out))
 
 
 class TestFingerprint:
@@ -70,6 +96,23 @@ class TestTraceStore:
             (trace.uop_count, trace.load_count, trace.store_count,
              trace.halted, trace.crashed, trace.final_next_pc)
 
+    def test_envelope_is_binary_columnar(self, tmp_path):
+        """Schema-3 envelopes are single binary files, magic-led, with
+        zero-copy memoryview columns on load."""
+        store = TraceStore(tmp_path)
+        program = build_benchmark("stream", "small")
+        trace = execute_program(program)
+        key = store.key("stream", "small", program)
+        store.put(key, trace)
+        path = store._path(key)
+        assert path.suffix == ".bin"
+        assert path.read_bytes()[:4] == ENVELOPE_MAGIC
+        loaded = store.get(key, program)
+        assert isinstance(loaded.pcs, memoryview)
+        assert isinstance(loaded.mem_addr, memoryview)
+        # column views index as plain Python ints
+        assert loaded.pcs[0] == trace.pcs[0]
+
     def test_envelope_carries_keyframes(self, tmp_path):
         """A loaded golden trace arrives with its state keyframes, so a
         fork-point job never rebuilds them with a full column walk."""
@@ -86,49 +129,193 @@ class TestTraceStore:
             [f.seq for f in original.frames]
         assert loaded._keyframes.to_payload() == original.to_payload()
 
-    def test_keyframeless_envelope_reads_as_miss(self, tmp_path):
-        store = TraceStore(tmp_path)
-        program = build_rmw_loop(iterations=5)
-        key = store.key("rmw", "small", program)
-        store.put(key, execute_program(program))
-        path = store._path(key)
-        envelope = json.loads(path.read_text())
-        del envelope["keyframes"]
-        path.write_text(json.dumps(envelope))
-        assert store.get(key, program) is None
-
     def test_miss_on_empty_store(self, tmp_path):
         store = TraceStore(tmp_path)
         program = build_benchmark("stream", "small")
         assert store.get(store.key("stream", "small", program),
                          program) is None
         assert store.misses == 1
+        assert store.corrupt == 0
 
-    def test_corrupt_envelope_reads_as_miss(self, tmp_path):
+    def test_corrupt_envelope_counted_logged_and_overwritten(
+            self, tmp_path, caplog):
+        """A present-but-garbage envelope is *not* a miss: it counts as
+        corrupt, warns once per path, and a fresh put overwrites it."""
         store = TraceStore(tmp_path)
         program = build_rmw_loop(iterations=5)
+        trace = execute_program(program)
         key = store.key("rmw", "small", program)
-        store.put(key, execute_program(program))
+        store.put(key, trace)
         path = store._path(key)
         path.write_text("{not json")
-        assert store.get(key, program) is None
+        with caplog.at_level("WARNING", logger="repro.workloads.trace_store"):
+            assert store.get(key, program) is None
+            assert store.get(key, program) is None
+        assert store.corrupt == 2
+        assert store.misses == 0
+        warnings = [r for r in caplog.records
+                    if "corrupt golden-trace envelope" in r.message]
+        assert len(warnings) == 1, "corrupt envelopes are logged once"
+        # the worker's re-derived trace overwrites the corrupt file
+        store.put(key, trace)
+        assert store.get(key, program) is not None
 
-    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+    def test_truncated_envelope_reads_as_corrupt(self, tmp_path):
         store = TraceStore(tmp_path)
         program = build_rmw_loop(iterations=5)
         key = store.key("rmw", "small", program)
         store.put(key, execute_program(program))
         path = store._path(key)
-        envelope = json.loads(path.read_text())
-        envelope["schema"] = TRACE_STORE_SCHEMA + 1
-        path.write_text(json.dumps(envelope))
+        path.write_bytes(path.read_bytes()[:100])
         assert store.get(key, program) is None
+        assert store.corrupt == 1
+
+    def test_bit_flip_in_column_data_reads_as_corrupt(self, tmp_path):
+        """A flipped bit *inside* a column block leaves the envelope
+        structurally valid — only the data-region checksum can refuse
+        to serve the silently wrong golden trace."""
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        path = store._path(key)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.get(key, program) is None
+        assert store.corrupt == 1
+        assert store.misses == 0
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        """Another schema generation is a *cold miss*, not corruption:
+        the envelope is fine, it just belongs to an older store."""
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        patch_header(store._path(key), schema=TRACE_STORE_SCHEMA + 1)
+        assert store.get(key, program) is None
+        assert store.misses == 1
+        assert store.corrupt == 0
+
+    def test_key_mismatch_reads_as_corrupt(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=5)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        patch_header(store._path(key), key="0" * 64)
+        assert store.get(key, program) is None
+        assert store.corrupt == 1
 
     def test_key_binds_program_content(self, tmp_path):
         store = TraceStore(tmp_path)
         a = build_rmw_loop(iterations=5)
         b = build_rmw_loop(iterations=6)
         assert store.key("x", "small", a) != store.key("x", "small", b)
+
+
+class TestIntegerWidths:
+    """Pin the integer-width properties the fixed-width columns freeze."""
+
+    def test_negative_immediates_round_trip(self, tmp_path):
+        """Negative MOVI/ADDI immediates commit as masked 64-bit
+        patterns, which the u64 columns carry bit-exactly."""
+        b = ProgramBuilder("negimm")
+        b.emit(Opcode.MOVI, rd=1, imm=-5)
+        b.emit(Opcode.ADDI, rd=2, rs1=1, imm=-123)
+        b.emit(Opcode.HALT)
+        program = b.build()
+        trace = execute_program(program)
+        assert trace.final_xregs[1] == (-5) & MASK64
+        store = TraceStore(tmp_path)
+        key = store.key("negimm", "small", program)
+        store.put(key, trace)
+        loaded = store.get(key, program)
+        assert loaded.dsts == trace.dsts
+        assert loaded.final_xregs == trace.final_xregs
+
+    def test_high_addresses_round_trip(self, tmp_path):
+        """Addresses at and above 2^31 (and up to 2^63) survive the
+        binary memory CSR and the final-image columns."""
+        hi_addr = (1 << 33) + 8
+        b = ProgramBuilder("hiaddr")
+        b.emit(Opcode.MOVI, rd=1, imm=hi_addr)
+        b.emit(Opcode.MOVI, rd=2, imm=0xDEAD)
+        b.emit(Opcode.ST, rs2=2, rs1=1, imm=0)
+        b.emit(Opcode.LD, rd=3, rs1=1, imm=0)
+        b.emit(Opcode.ST, rs2=2, rs1=1, imm=(1 << 30))
+        b.emit(Opcode.HALT)
+        program = b.build()
+        trace = execute_program(program)
+        assert max(trace.mem_addr) >= (1 << 33)
+        store = TraceStore(tmp_path)
+        key = store.key("hiaddr", "small", program)
+        store.put(key, trace)
+        loaded = store.get(key, program)
+        assert list(loaded.mem_addr) == list(trace.mem_addr)
+        assert dict(loaded.memory.items()) == dict(trace.memory.items())
+        assert loaded.final_xregs[3] == 0xDEAD
+
+    def test_mem_off_monotone_over_memoryless_rows(self, tmp_path):
+        """Rows with no memory operations repeat the previous offset:
+        the CSR stays monotone (non-decreasing) and round-trips."""
+        b = ProgramBuilder("gaps")
+        b.emit(Opcode.MOVI, rd=1, imm=64)
+        b.emit(Opcode.MOVI, rd=2, imm=1)
+        b.emit(Opcode.ST, rs2=2, rs1=1, imm=0)
+        b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)   # no memory traffic
+        b.emit(Opcode.ADDI, rd=2, rs1=2, imm=1)   # no memory traffic
+        b.emit(Opcode.ST, rs2=2, rs1=1, imm=8)
+        b.emit(Opcode.HALT)
+        program = b.build()
+        trace = execute_program(program)
+        offs = list(trace.mem_off)
+        assert len(offs) == len(trace) + 1
+        assert all(a <= b for a, b in zip(offs, offs[1:]))
+        assert offs != sorted(set(offs)), "memoryless rows repeat offsets"
+        store = TraceStore(tmp_path)
+        key = store.key("gaps", "small", program)
+        store.put(key, trace)
+        loaded = store.get(key, program)
+        assert list(loaded.mem_off) == offs
+        lo, hi = loaded.mem_off[3], loaded.mem_off[4]
+        assert lo == hi, "HALT-adjacent ALU row stays empty"
+
+    def test_out_of_range_value_fails_loudly(self, tmp_path):
+        """A value that cannot fit its fixed-width column must raise at
+        write time, never truncate silently into a wrong-but-valid
+        envelope."""
+        program = build_rmw_loop(iterations=3)
+        store = TraceStore(tmp_path)
+        key = store.key("rmw", "small", program)
+        bad = execute_program(program)
+        bad.dsts[0] = ((False, 1, -1),)  # bypasses commit masking
+        with pytest.raises(OverflowError):
+            store.put(key, bad)
+
+
+class TestStaleTempSweep:
+    def test_init_sweeps_only_stale_temps(self, tmp_path):
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=3)
+        key = store.key("rmw", "small", program)
+        store.put(key, execute_program(program))
+        bucket = store._path(key).parent
+        stale = bucket / f"{key}.tmp.999-deadbeef"
+        stale.write_bytes(b"partial write from a killed worker")
+        old = time.time() - STALE_TEMP_TTL - 60
+        os.utime(stale, (old, old))
+        fresh = bucket / f"{key}.tmp.999-cafecafe"
+        fresh.write_bytes(b"in-flight write")
+        reopened = TraceStore(tmp_path)
+        assert reopened.stale_temps_swept == 1
+        assert not stale.exists()
+        assert fresh.exists(), "fresh temps belong to live writers"
+        assert store._path(key).exists(), "real envelopes are untouched"
+        assert reopened.get(key, program) is not None
+
+    def test_sweep_helper_handles_missing_root(self, tmp_path):
+        assert sweep_stale_temps(tmp_path / "never-created") == 0
 
 
 class TestSuiteWiring:
