@@ -1,0 +1,212 @@
+"""Campaign-service microbenchmark: status-scan and HTTP control-plane
+throughput.
+
+Two measurements, one BENCH line:
+
+* ``scan`` — the bulk single-pass
+  :meth:`~repro.harness.manifest.CampaignManifest.job_states` directory
+  scan against the per-key :meth:`job_state` loop it replaced, on a
+  synthetic manifest with a realistic state mix (done/failed/leased/
+  pending).  Every status poll — CLI, ``--watch``, and the service's
+  status/events endpoints — pays this cost, so it gates the control
+  plane's polling scalability.
+* ``http`` — ``GET /campaigns/{id}/status`` requests per second against
+  a live ``CampaignService`` over real sockets (one tiny drained
+  campaign), i.e. the full stack: socket accept, routing, bulk scan,
+  canonical-JSON response.
+
+Emits one machine-readable ``BENCH {...}`` JSON line and supports the
+shared regression gate::
+
+    python benchmarks/bench_service.py                      # measure
+    python benchmarks/bench_service.py --output bench.json  # + write file
+    python benchmarks/bench_service.py \
+        --check benchmarks/baselines/bench_service.json --tolerance 0.40
+
+The gate checks ``bulk_scans_per_s``, ``scan_speedup`` (bulk vs per-key
+— the structural win that must not quietly disappear), and
+``status_http_rps``.  Raw rates are machine-dependent; committed floors
+are deliberately conservative.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.harness.campaign import TRACE_STORE_DIRNAME, fault_grid
+from repro.harness.manifest import CampaignManifest
+from repro.service.server import CampaignService
+from repro.workloads.suite import configure_trace_store
+
+GATED_METRICS = ("bulk_scans_per_s", "scan_speedup", "status_http_rps")
+
+
+def check_against(payload: dict, baseline_path: str,
+                  tolerance: float) -> int:
+    """Exit status of the regression gate (0 ok, 1 regressed, 2 when the
+    baseline itself is missing/unusable — see ``benchmarks/gate.py``)."""
+    import importlib.util
+
+    gate_path = Path(__file__).resolve().with_name("gate.py")
+    spec = importlib.util.spec_from_file_location("bench_gate", gate_path)
+    gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gate)
+    return gate.check_metrics(payload, baseline_path, tolerance,
+                              GATED_METRICS)
+
+
+def build_synthetic_manifest(root: Path, jobs: int) -> CampaignManifest:
+    """A manifest with ``jobs`` unique fault jobs in a realistic state
+    mix: ~50% done, ~10% failed, ~10% leased, rest pending."""
+    configure_trace_store(root / TRACE_STORE_DIRNAME)
+    grid = fault_grid(["stream"], trials=jobs, scale="small", seed=7)
+    manifest = CampaignManifest.create(root, grid, kind="fault",
+                                       scheme="detection", scale="small",
+                                       benchmarks=["stream"])
+    keys = [job.key for job in manifest.unique]
+    for i, key in enumerate(keys):
+        bucket = i % 10
+        if bucket < 5:
+            # synthetic done entries: state scans only test presence of
+            # a valid envelope, not what the record means
+            manifest.cache.put(key, {"synthetic": i})
+        elif bucket < 6:
+            manifest.record_failure(key, "bench", "synthetic failure")
+        elif bucket < 7:
+            manifest.try_lease(key, "bench", ttl=3600)
+    return manifest
+
+
+def time_scans(manifest: CampaignManifest, repeat: int,
+               seconds: float) -> tuple[float, float]:
+    """Best-of-``repeat`` scans/second for (bulk, per-key) status."""
+
+    def rate(fn) -> float:
+        best = 0.0
+        for _ in range(repeat):
+            count = 0
+            start = time.perf_counter()
+            while (elapsed := time.perf_counter() - start) < seconds:
+                fn()
+                count += 1
+            best = max(best, count / elapsed)
+        return best
+
+    keys = [job.key for job in manifest.unique]
+    bulk = rate(manifest.job_states)
+    per_key = rate(lambda: {k: manifest.job_state(k) for k in keys})
+    return bulk, per_key
+
+
+def time_http(root: Path, repeat: int, seconds: float) -> float:
+    """Status requests/second against a live service with one tiny
+    drained campaign."""
+    holder: dict = {}
+    ready = threading.Event()
+    service = CampaignService(root, drain_workers=1)
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+        holder["port"] = loop.run_until_complete(service.start(port=0))
+        ready.set()
+        loop.run_forever()
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(60)
+    port = holder["port"]
+
+    def request(method: str, path: str, body: str | None = None) -> tuple:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            conn.request(method, path, body=body)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    desc = {"kind": "baseline", "benchmarks": ["bitcount"],
+            "scheme": "detection", "scale": "small"}
+    status, payload = request("POST", "/campaigns", json.dumps(desc))
+    assert status == 201, (status, payload)
+    cid = json.loads(payload)["campaign"]
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        _status, payload = request("GET", f"/campaigns/{cid}/status")
+        if json.loads(payload).get("complete"):
+            break
+        time.sleep(0.05)
+
+    best = 0.0
+    for _ in range(repeat):
+        count = 0
+        start = time.perf_counter()
+        while (elapsed := time.perf_counter() - start) < seconds:
+            status, _payload = request("GET", f"/campaigns/{cid}/status")
+            assert status == 200
+            count += 1
+        best = max(best, count / elapsed)
+
+    asyncio.run_coroutine_threadsafe(service.stop(),
+                                     holder["loop"]).result(20)
+    holder["loop"].call_soon_threadsafe(holder["loop"].stop)
+    thread.join(timeout=20)
+    return best
+
+
+def run(jobs: int, repeat: int, seconds: float) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        manifest = build_synthetic_manifest(Path(tmp) / "scan", jobs)
+        bulk, per_key = time_scans(manifest, repeat, seconds)
+        http_rps = time_http(Path(tmp) / "svc", repeat, seconds)
+    return {
+        "bench": "service",
+        "jobs": jobs,
+        "bulk_scans_per_s": round(bulk, 2),
+        "per_key_scans_per_s": round(per_key, 2),
+        "scan_speedup": round(bulk / per_key, 2) if per_key else 0.0,
+        "status_http_rps": round(http_rps, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=600,
+                        help="unique jobs in the synthetic manifest")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions per path (best is kept)")
+    parser.add_argument("--seconds", type=float, default=1.0,
+                        help="timed window per repetition")
+    parser.add_argument("--output", default=None,
+                        help="also write the BENCH payload to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed baseline JSON "
+                             "and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional drop vs the baseline")
+    args = parser.parse_args(argv)
+
+    payload = run(args.jobs, args.repeat, args.seconds)
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    if args.check:
+        return check_against(payload, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

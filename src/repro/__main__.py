@@ -24,9 +24,18 @@ Commands:
     nothing is leasable.  Safe to run any number of these concurrently.
     ``--max-attempts N`` re-leases failed jobs automatically until their
     failure envelope records N attempts (default 1: manual retry only).
-``campaign-status --manifest DIR [--json]``
+``campaign-status --manifest DIR [--json] [--watch SECONDS]``
     Progress of a manifest campaign: per-state counts, per-scheme and
-    per-kind progress, failure summaries.
+    per-kind progress, failure summaries.  ``--watch`` refreshes the
+    (one-pass) summary periodically until the campaign settles.
+``serve --manifest-root DIR [--cache-dir DIR] [--host H] [--port N]
+[--queue-limit N] [--drain-workers N] [--lease-ttl S]``
+    Run the resident campaign service: an HTTP control plane over the
+    manifest layer.  ``POST /campaigns`` submits declarative grids,
+    ``GET /campaigns/{id}/status`` and ``/events`` report progress,
+    ``GET /records/{key}`` serves content-addressed result envelopes
+    with ETags, and ``POST /campaigns/{id}/workers`` advertises the
+    manifest path so external ``campaign-worker`` processes can attach.
 ``bench NAME [--scale small|default]``
     Run one Table II benchmark under detection and print its summary.
 ``list [--schemes]``
@@ -91,29 +100,20 @@ def _parse_shard(text: str) -> tuple[int, int]:
 
 
 def _build_grid(args: argparse.Namespace, names: list[str]):
-    """The campaign grid named by the CLI arguments (shared by the
-    engine and manifest paths, so both name identical jobs)."""
-    from repro.common.config import default_config
-    from repro.harness.campaign import (
-        detection_grid, fault_batch_grid, fault_grid, recovery_grid,
-        scheme_grid)
+    """The campaign grid named by the CLI arguments.
 
-    if args.kind == "fault":
-        return fault_grid(names, trials=args.trials, scale=args.scale,
-                          seed=args.seed, scheme=args.scheme)
-    if args.kind == "fault-batch":
-        return fault_batch_grid(names, trials=args.trials,
-                                batch_size=args.batch_size,
-                                scale=args.scale, seed=args.seed,
-                                scheme=args.scheme)
-    if args.kind == "recovery":
-        return recovery_grid(names, trials=args.trials, scale=args.scale,
-                             seed=args.seed, scheme=args.scheme)
-    if args.kind == "baseline":
-        return scheme_grid(names, [args.scheme], scale=args.scale)
-    # detection: the paper scheme's rich fault-free runs
-    return detection_grid(names, [default_config()], scale=args.scale,
-                          include_baselines=False, scheme=args.scheme)
+    Delegates to the service's wire-level constructor so a grid named
+    on the command line and the same grid submitted as JSON to a
+    running ``repro serve`` contain identical jobs with identical cache
+    keys — one constructor, two transports."""
+    from repro.service.wire import build_grid
+
+    grid, _meta = build_grid({
+        "kind": args.kind, "scheme": args.scheme, "scale": args.scale,
+        "benchmarks": names, "trials": args.trials, "seed": args.seed,
+        "batch_size": args.batch_size,
+    })
+    return grid
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -273,21 +273,7 @@ def cmd_campaign_worker(args: argparse.Namespace) -> int:
     return 1 if stats.failed else 0
 
 
-def cmd_campaign_status(args: argparse.Namespace) -> int:
-    from repro.common.records import canonical_json
-    from repro.harness.manifest import CampaignManifest, ManifestError
-    from repro.harness.orchestrator import manifest_status
-
-    try:
-        manifest = CampaignManifest.load(args.manifest)
-    except ManifestError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    status = manifest_status(manifest)
-    if args.json:
-        print(canonical_json(status))
-        return 1 if status["failures"] else 0
-
+def _print_status(status: dict) -> None:
     states = status["states"]
     print(f"campaign {status['campaign_id'][:12]}… "
           f"[{status['kind']}/{status['scheme']}] "
@@ -306,7 +292,58 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
               f"(worker {failure['worker']}, attempt {failure['attempt']}): "
               f"{failure['error']}")
     print("complete" if status["complete"] else "in progress")
-    return 1 if status["failures"] else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.common.records import canonical_json
+    from repro.harness.manifest import CampaignManifest, ManifestError
+    from repro.harness.orchestrator import manifest_status
+
+    if args.watch is not None and args.watch <= 0:
+        print("--watch needs a positive number of seconds",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = CampaignManifest.load(args.manifest)
+    except ManifestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    while True:
+        status = manifest_status(manifest)
+        if args.json:
+            print(canonical_json(status), flush=True)
+        else:
+            _print_status(status)
+        # settled: complete, or nothing left that could still make
+        # progress (only failures remain) — watching further would spin
+        settled = status["complete"] or (
+            not status["states"]["pending"]
+            and not status["states"]["leased"])
+        if args.watch is None or settled:
+            return 1 if status["failures"] else 0
+        if not args.json:
+            print(f"-- refreshing every {args.watch:g}s "
+                  f"(ctrl-c to stop) --", flush=True)
+        time.sleep(args.watch)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import CampaignService
+
+    service = CampaignService(args.manifest_root,
+                              cache_dir=args.cache_dir,
+                              queue_limit=args.queue_limit,
+                              drain_workers=args.drain_workers,
+                              lease_ttl=args.lease_ttl)
+    try:
+        asyncio.run(service.run(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("repro serve: shut down", file=sys.stderr)
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -455,7 +492,35 @@ def make_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--manifest", required=True, metavar="DIR")
     p_status.add_argument("--json", action="store_true",
                           help="emit the status payload as canonical JSON")
+    p_status.add_argument("--watch", type=float, default=None,
+                          metavar="SECONDS",
+                          help="refresh the summary every SECONDS until "
+                               "the campaign settles (complete, or only "
+                               "failures left)")
     p_status.set_defaults(func=cmd_campaign_status)
+
+    p_serve = sub.add_parser(
+        "serve", help="resident campaign service (HTTP control plane)")
+    p_serve.add_argument("--manifest-root", required=True, metavar="DIR",
+                         help="directory holding one subdirectory (an "
+                              "ordinary campaign manifest) per submitted "
+                              "campaign")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="extra read-only record cache served by "
+                              "GET /records (e.g. from pre-service runs)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="bounded admission queue: submissions over "
+                              "this many pending campaigns get HTTP 429")
+    p_serve.add_argument("--drain-workers", type=int, default=1,
+                         help="in-service worker threads draining the "
+                              "current campaign (0 = control plane only; "
+                              "attach external campaign-worker processes)")
+    p_serve.add_argument("--lease-ttl", type=float, default=300.0,
+                         help="lease TTL for the in-service workers")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run one benchmark")
     p_bench.add_argument("name")

@@ -383,18 +383,53 @@ class RunCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _valid(envelope: object, key: str) -> bool:
+        return (isinstance(envelope, dict)
+                and envelope.get("key") == key
+                and envelope.get("schema") == CACHE_SCHEMA_VERSION
+                and isinstance(envelope.get("record"), dict))
+
     def _load(self, key: str) -> dict | None:
         """Read and validate one envelope; no hit/miss accounting."""
         try:
             envelope = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
             return None
-        if (not isinstance(envelope, dict)
-                or envelope.get("key") != key
-                or envelope.get("schema") != CACHE_SCHEMA_VERSION
-                or not isinstance(envelope.get("record"), dict)):
+        if not self._valid(envelope, key):
             return None
         return envelope["record"]
+
+    @staticmethod
+    def etag(key: str) -> str:
+        """The strong HTTP entity tag of ``key``'s record.
+
+        The store is content-addressed and envelopes are canonical JSON,
+        so the content key *is* the entity: two envelopes with the same
+        key and schema are byte-identical by construction.  The schema
+        version is folded in because a schema bump changes the envelope
+        bytes for the same key.
+        """
+        return f'"{CACHE_SCHEMA_VERSION}-{key}"'
+
+    def read_envelope(self, key: str) -> bytes | None:
+        """The raw canonical envelope bytes of a valid entry, or None.
+
+        This is the record-serving accessor: callers that put envelopes
+        on the wire (``GET /records/{key}``) get exactly the bytes on
+        disk, so an HTTP fetch and a direct cache read can never differ.
+        """
+        try:
+            data = self._path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(data)
+        except ValueError:
+            return None
+        if not self._valid(envelope, key):
+            return None
+        return data
 
     def get(self, key: str) -> dict | None:
         record = self._load(key)

@@ -232,6 +232,10 @@ class CampaignManifest:
                 from None
         except ValueError as err:
             raise ManifestError(f"corrupt manifest {path}: {err}") from None
+        if not isinstance(payload, dict):
+            raise ManifestError(
+                f"corrupt manifest {path}: top level is "
+                f"{type(payload).__name__}, not an object")
         if payload.get("manifest_schema") != MANIFEST_SCHEMA_VERSION:
             raise ManifestError(
                 f"manifest {path} has layout schema "
@@ -244,18 +248,28 @@ class CampaignManifest:
                 f"{CACHE_SCHEMA_VERSION} — rebuild it in a fresh directory")
         config_memo: dict = {}
         specs, keys = [], []
-        for entry in payload["jobs"]:
-            spec = spec_from_description(entry["spec"], config_memo)
-            if spec.key() != entry["key"]:
-                raise ManifestError(
-                    f"manifest {path} job {entry['key'][:12]}… does not "
-                    f"hash to its stored key after reconstruction")
-            specs.append(spec)
-            keys.append(entry["key"])
-        header = {k: v for k, v in payload.items() if k != "jobs"}
-        if header["campaign_id"] != campaign_id(keys):
-            raise ManifestError(f"manifest {path} campaign id does not "
-                                f"match its own job list")
+        # any structural defect below — missing fields, wrong types, an
+        # unreconstructable spec — is a *malformed manifest*, reported as
+        # one ManifestError rather than whatever exception it first trips
+        try:
+            for entry in payload["jobs"]:
+                spec = spec_from_description(entry["spec"], config_memo)
+                if spec.key() != entry["key"]:
+                    raise ManifestError(
+                        f"manifest {path} job {entry['key'][:12]}… does not "
+                        f"hash to its stored key after reconstruction")
+                specs.append(spec)
+                keys.append(entry["key"])
+            header = {k: v for k, v in payload.items() if k != "jobs"}
+            if header["campaign_id"] != campaign_id(keys):
+                raise ManifestError(f"manifest {path} campaign id does not "
+                                    f"match its own job list")
+        except ManifestError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as err:
+            raise ManifestError(
+                f"malformed manifest {path}: "
+                f"{type(err).__name__}: {err}") from None
         return cls(root, header, specs, keys, clock=clock)
 
     # -- derived job state ---------------------------------------------------
@@ -302,6 +316,82 @@ class CampaignManifest:
             if mtime + DEFAULT_LEASE_TTL > now:
                 return "leased"
         return "pending"
+
+    def _scan_json_names(self, directory: Path, into: set[str]) -> None:
+        """Collect the ``<key>`` of every ``<key>.json`` in ``directory``
+        (temp/reap files carry ``.tmp.``/``.reap.`` suffixes after the
+        ``.json``, so they never match)."""
+        try:
+            entries = os.scandir(directory)
+        except OSError:
+            return
+        with entries:
+            for entry in entries:
+                name = entry.name
+                if name.endswith(".json"):
+                    into.add(name[:-5])
+
+    def job_states(self, now: float | None = None) -> dict[str, str]:
+        """Derived state of every unique job, computed in one bulk pass.
+
+        :meth:`job_state` costs ~4 metadata round-trips per key (cache
+        read, failure stat, lease read/stat), so a status poll over a
+        large manifest is O(jobs × stats).  This method instead takes
+        three directory listings — the cache's key buckets, ``failed/``,
+        and ``leases/`` — and derives every state from the merged name
+        sets; only the (few) present lease files are actually read, to
+        evaluate expiry.
+
+        Presence of ``<key>.json`` in its cache bucket counts as done
+        without re-parsing the envelope: entries are written atomically
+        (temp + rename) by workers whose record schema the manifest
+        header pins at load time, so a present entry is a complete,
+        current one.  The leasing path (:meth:`try_lease`) still
+        validates envelopes before trusting them.
+        """
+        now = self._clock() if now is None else now
+        done: set[str] = set()
+        failed: set[str] = set()
+        lease_files: set[str] = set()
+        try:
+            buckets = os.scandir(self.cache.root)
+        except OSError:
+            buckets = None
+        if buckets is not None:
+            with buckets:
+                for bucket in buckets:
+                    # key buckets are exactly two hex chars; skips the
+                    # nested golden-trace store and stray files
+                    if len(bucket.name) == 2:
+                        self._scan_json_names(Path(bucket.path), done)
+        self._scan_json_names(self.root / "failed", failed)
+        self._scan_json_names(self.root / "leases", lease_files)
+        states: dict[str, str] = {}
+        for job in self.unique:
+            key = job.key
+            if key in done:
+                states[key] = "done"
+            elif key in failed:
+                states[key] = "failed"
+            elif key in lease_files:
+                # same liveness rules as job_state, but only for keys
+                # that actually have a lease file on disk
+                lease = self.read_lease(key)
+                if lease is not None:
+                    states[key] = ("leased" if lease.expires_at > now
+                                   else "pending")
+                else:
+                    try:
+                        mtime = self._lease_path(key).stat().st_mtime
+                    except OSError:
+                        states[key] = "pending"
+                        continue
+                    states[key] = ("leased"
+                                   if mtime + DEFAULT_LEASE_TTL > now
+                                   else "pending")
+            else:
+                states[key] = "pending"
+        return states
 
     # -- leasing -------------------------------------------------------------
 
@@ -469,10 +559,14 @@ class CampaignManifest:
             return None
         return failure if isinstance(failure, JobFailure) else None
 
-    def failures(self) -> list[JobFailure]:
+    def failures(self, keys: Iterable[str] | None = None) -> list[JobFailure]:
+        """Failure envelopes, for all unique jobs or just ``keys`` (a
+        caller that already ran :meth:`job_states` passes the failed
+        keys so this does not rescan every job)."""
         out = []
-        for job in self.unique:
-            failure = self.read_failure(job.key)
+        for key in ([job.key for job in self.unique]
+                    if keys is None else keys):
+            failure = self.read_failure(key)
             if failure is not None:
                 out.append(failure)
         return out

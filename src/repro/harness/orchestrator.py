@@ -243,14 +243,17 @@ def run_campaign(manifest: CampaignManifest, processes: int = 1,
 
 def manifest_status(manifest: CampaignManifest) -> dict:
     """The ``campaign-status`` payload: per-state counts, per-scheme and
-    per-kind progress, and failure summaries — computed in one pass over
-    the manifest's unique jobs."""
-    now = manifest._clock()
+    per-kind progress, and failure summaries — computed from one bulk
+    :meth:`~repro.harness.manifest.CampaignManifest.job_states` scan
+    (three directory listings, not per-job stat calls), so polling it —
+    the CLI, ``--watch``, and the service's status/events endpoints all
+    do — stays cheap on large manifests."""
+    state_map = manifest.job_states()
     states = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
     by_scheme: dict[str, dict[str, int]] = {}
     by_kind: dict[str, dict[str, int]] = {}
     for job in manifest.unique:
-        state = manifest.job_state(job.key, now)
+        state = state_map[job.key]
         states[state] += 1
         for axis, label in ((by_scheme, job.spec.scheme),
                             (by_kind, job.spec.kind)):
@@ -274,7 +277,8 @@ def manifest_status(manifest: CampaignManifest) -> dict:
         "failures": [
             {"key": f.key, "worker": f.worker, "error": f.error,
              "attempt": f.attempt}
-            for f in manifest.failures()
+            for f in manifest.failures(
+                keys=[k for k, s in state_map.items() if s == "failed"])
         ],
         "complete": states["done"] == unique,
     }

@@ -1,0 +1,21 @@
+"""repro.service — the resident campaign-service control plane.
+
+A stdlib-only asyncio HTTP layer over the existing manifest /
+orchestrator / cache stack: declarative campaign submission, shared
+one-pass status, SSE progress events, content-addressed record serving
+with ETags, and worker advertisement — no new execution semantics.
+Start it with ``python -m repro serve --manifest-root DIR``.
+"""
+
+from repro.service.admission import AdmissionQueue, QueueFullError
+from repro.service.server import CampaignService
+from repro.service.wire import ApiError, WireError, build_grid
+
+__all__ = [
+    "AdmissionQueue",
+    "ApiError",
+    "CampaignService",
+    "QueueFullError",
+    "WireError",
+    "build_grid",
+]

@@ -1,0 +1,106 @@
+"""Multi-tenant admission: bounded queueing with per-tenant fairness.
+
+The service admits campaigns into one :class:`AdmissionQueue` and drains
+them one at a time (the drain pool's worker threads all cooperate on the
+*current* campaign through the ordinary lease protocol — concurrency
+across campaigns comes from external ``campaign-worker`` processes, so
+the process-wide golden-trace store is never shared between campaigns).
+
+Fairness is round-robin **across tenants**, FIFO **within a tenant**: a
+tenant that floods the queue with a hundred campaigns still only gets
+one turn per cycle, so a second tenant's single submission starts after
+at most one campaign, not a hundred.  The queue is bounded; a submission
+that would exceed the bound is refused (:class:`QueueFullError` → HTTP
+429 with ``Retry-After``), which is the service's explicit backpressure
+signal — clients retry, nothing is silently dropped or buffered without
+bound.
+
+The structure is intentionally not thread-safe: every mutation happens
+on the service's event loop (submissions in request handlers, pops in
+the drain task).  Blocking work — the campaign execution itself — is
+pushed to threads *after* the pop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+
+class QueueFullError(RuntimeError):
+    """The bounded admission queue cannot accept another campaign."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"admission queue is full ({limit} pending campaigns); "
+            f"retry after one drains")
+        self.limit = limit
+
+
+class AdmissionQueue:
+    """Bounded FIFO-per-tenant, round-robin-across-tenants queue.
+
+    Invariant: a tenant appears in the round-robin ring exactly when it
+    has pending items, and at most once.  Serving a tenant moves it to
+    the back of the ring, so ``pop_next`` interleaves tenants no matter
+    how unbalanced their backlogs are.
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        self.limit = max(1, int(limit))
+        self._queues: dict[str, deque[str]] = {}
+        self._ring: deque[str] = deque()
+        #: total admissions/refusals, for the health endpoint
+        self.admitted = 0
+        self.refused = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def __contains__(self, item: str) -> bool:
+        return any(item in q for q in self._queues.values())
+
+    def submit(self, tenant: str, item: str) -> None:
+        """Admit ``item`` for ``tenant`` or raise :class:`QueueFullError`."""
+        if len(self) >= self.limit:
+            self.refused += 1
+            raise QueueFullError(self.limit)
+        queue = self._queues.setdefault(tenant, deque())
+        queue.append(item)
+        if len(queue) == 1:
+            self._ring.append(tenant)
+        self.admitted += 1
+
+    def pop_next(self) -> str | None:
+        """The next item under round-robin fairness, or None if empty."""
+        if not self._ring:
+            return None
+        tenant = self._ring.popleft()
+        queue = self._queues[tenant]
+        item = queue.popleft()
+        if queue:
+            self._ring.append(tenant)
+        else:
+            del self._queues[tenant]
+        return item
+
+    def drop(self, item: str) -> bool:
+        """Remove a pending item (a campaign cancelled or completed by
+        external workers before its turn); returns whether it was found."""
+        for tenant, queue in list(self._queues.items()):
+            if item in queue:
+                queue.remove(item)
+                if not queue:
+                    del self._queues[tenant]
+                    self._ring.remove(tenant)
+                return True
+        return False
+
+    def pending(self) -> dict[str, list[str]]:
+        """Snapshot of pending items per tenant (for status payloads)."""
+        return {tenant: list(queue)
+                for tenant, queue in self._queues.items()}
+
+    def tenants(self) -> Iterator[str]:
+        """Tenants currently holding pending work, in ring order."""
+        return iter(self._ring)

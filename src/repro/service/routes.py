@@ -1,0 +1,84 @@
+"""The service's route table: one declarative list, one pure matcher.
+
+Keeping routing as data (method + path template → handler name) means
+the URL surface is greppable in one place, the matcher is unit-testable
+without sockets, and the server can answer 405 with a correct ``Allow``
+header by scanning the same table it dispatches from.
+
+Path templates are tuples of literal segments and ``{param}``
+placeholders; a placeholder captures exactly one non-empty segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    #: path template, e.g. ``("campaigns", "{id}", "status")``
+    segments: tuple[str, ...]
+    #: name of the ``CampaignService`` handler coroutine
+    handler: str
+
+
+ROUTES: tuple[Route, ...] = (
+    Route("GET", ("healthz",), "health"),
+    Route("GET", ("campaigns",), "list_campaigns"),
+    Route("POST", ("campaigns",), "submit_campaign"),
+    Route("GET", ("campaigns", "{id}", "status"), "campaign_status"),
+    Route("GET", ("campaigns", "{id}", "records"), "campaign_records"),
+    Route("GET", ("campaigns", "{id}", "events"), "campaign_events"),
+    Route("POST", ("campaigns", "{id}", "workers"), "advertise_worker"),
+    Route("GET", ("records", "{key}"), "get_record"),
+)
+
+#: Handlers that stream their response (SSE) instead of returning one
+#: buffered body; the connection handler special-cases these.
+STREAMING_HANDLERS = frozenset({"campaign_events"})
+
+
+class MethodNotAllowed(Exception):
+    """The path exists but not under this method; carries ``Allow``."""
+
+    def __init__(self, allowed: tuple[str, ...]) -> None:
+        super().__init__(f"allowed: {', '.join(allowed)}")
+        self.allowed = allowed
+
+
+def _segments(path: str) -> tuple[str, ...]:
+    return tuple(part for part in path.strip("/").split("/") if part)
+
+
+def _bind(route: Route, parts: tuple[str, ...]) -> dict[str, str] | None:
+    if len(route.segments) != len(parts):
+        return None
+    params: dict[str, str] = {}
+    for template, actual in zip(route.segments, parts):
+        if template.startswith("{") and template.endswith("}"):
+            params[template[1:-1]] = actual
+        elif template != actual:
+            return None
+    return params
+
+
+def match(method: str, path: str) -> tuple[str, dict[str, str]] | None:
+    """Resolve ``(method, path)`` → ``(handler name, params)``.
+
+    Returns None for an unknown path (404); raises
+    :class:`MethodNotAllowed` when the path matches under a different
+    method (405 + ``Allow``).
+    """
+    parts = _segments(path)
+    allowed: list[str] = []
+    for route in ROUTES:
+        params = _bind(route, parts)
+        if params is None:
+            continue
+        if route.method == method:
+            return route.handler, params
+        allowed.append(route.method)
+    if allowed:
+        raise MethodNotAllowed(tuple(dict.fromkeys(allowed)))
+    return None

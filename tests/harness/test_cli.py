@@ -160,6 +160,74 @@ class TestManifestCommands:
         assert main(["campaign-status", "--manifest", missing]) == 2
         assert "no campaign manifest" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("content", [
+        "{not json",                       # unparseable
+        "[1, 2, 3]",                       # wrong top-level type
+        '{"manifest_schema": 1, "schema": 5, "jobs": "oops"}',
+    ])
+    def test_malformed_manifest_is_one_line_error(self, capsys, tmp_path,
+                                                  content):
+        """A corrupt manifest.json must produce a clear one-line error
+        on stderr and exit 2 — never a traceback."""
+        root = tmp_path / "m"
+        root.mkdir()
+        (root / "manifest.json").write_text(content)
+        for verb in ("campaign-worker", "campaign-status"):
+            assert main([verb, "--manifest", str(root)]) == 2
+            err = capsys.readouterr().err
+            assert "manifest" in err
+            assert "Traceback" not in err
+            # one line of diagnosis, pointing at the bad file
+            assert len(err.strip().splitlines()) == 1
+            assert str(root) in err
+
+    def test_status_watch_refreshes_until_settled(self, capsys, tmp_path,
+                                                  monkeypatch):
+        import time as time_mod
+
+        assert main(["campaign", "--benchmark", "stream", "--trials", "4",
+                     "--manifest", str(tmp_path / "m")]) == 0
+        capsys.readouterr()
+        sleeps: list[float] = []
+        monkeypatch.setattr(time_mod, "sleep",
+                            lambda s: sleeps.append(s))
+        # campaign already complete: --watch prints once and exits
+        # without sleeping
+        assert main(["campaign-status", "--manifest", str(tmp_path / "m"),
+                     "--watch", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and not sleeps
+
+    def test_status_watch_loops_while_in_progress(self, capsys, tmp_path,
+                                                  monkeypatch):
+        import time as time_mod
+
+        assert main(["campaign", "--benchmark", "stream", "--trials", "4",
+                     "--manifest", str(tmp_path / "m"),
+                     "--materialize-only"]) == 0
+        capsys.readouterr()
+
+        # complete the campaign from inside the (patched) sleep: the
+        # watch loop must observe the transition and terminate
+        def finish(_seconds: float) -> None:
+            from repro.harness.manifest import CampaignManifest
+            from repro.harness.orchestrator import CampaignWorker
+            manifest = CampaignManifest.load(tmp_path / "m")
+            CampaignWorker(manifest, worker_id="bg").run()
+
+        monkeypatch.setattr(time_mod, "sleep", finish)
+        assert main(["campaign-status", "--manifest", str(tmp_path / "m"),
+                     "--watch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "in progress" in out       # first refresh: nothing done
+        assert "complete" in out          # last refresh: settled
+        assert "refreshing every 1s" in out
+
+    def test_status_watch_rejects_nonpositive(self, capsys, tmp_path):
+        assert main(["campaign-status", "--manifest", str(tmp_path),
+                     "--watch", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
     def test_status_human_output(self, capsys, tmp_path):
         assert main(["campaign", "--benchmark", "stream", "--trials", "6",
                      "--manifest", str(tmp_path / "m")]) == 0

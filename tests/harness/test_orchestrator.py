@@ -379,6 +379,79 @@ class TestResumption:
         assert again.records_json() == result.records_json()
 
 
+class TestBulkJobStates:
+    """The single-pass job_states scan must agree with the per-key
+    job_state derivation in every state, including lease expiry."""
+
+    def test_matches_per_key_states_across_all_states(self, manifest):
+        keys = [job.key for job in manifest.unique]
+        clock = manifest._clock
+        # done: execute one job for real
+        CampaignWorker(manifest, worker_id="w").run(max_jobs=1)
+        # failed: a failure envelope
+        manifest.record_failure(keys[1], "w", "boom")
+        # leased (live) and leased (expired)
+        assert manifest.try_lease(keys[2], "live", ttl=600) is not None
+        assert manifest.try_lease(keys[3], "dead", ttl=30) is not None
+        clock.advance(60)  # dead's lease expires; live's survives
+        bulk = manifest.job_states()
+        assert bulk == {k: manifest.job_state(k) for k in keys}
+        assert sorted(bulk.values()).count("done") == 1
+        assert bulk[keys[1]] == "failed"
+        assert bulk[keys[2]] == "leased"
+        assert bulk[keys[3]] == "pending"  # expired lease reads pending
+
+    def test_ignores_temp_and_foreign_files(self, manifest):
+        key = manifest.unique[0].key
+        CampaignWorker(manifest, worker_id="w").run(max_jobs=1)
+        done_key = next(k for k, s in manifest.job_states().items()
+                        if s == "done")
+        bucket = manifest.cache.root / done_key[:2]
+        # crash-stranded temp files and the nested trace store must not
+        # register as done/failed entries
+        (bucket / f"{done_key}.json.tmp.999").write_text("{}")
+        (manifest.root / "failed").mkdir(exist_ok=True)
+        (manifest.root / "failed" / "junk.json.reap.1").write_text("{}")
+        states = manifest.job_states()
+        assert states[done_key] == "done"
+        assert states[key] in ("done", "pending")
+        assert set(states) == {job.key for job in manifest.unique}
+
+    def test_empty_manifest_dirs_read_all_pending(self, tmp_path, grid):
+        manifest = CampaignManifest.create(tmp_path / "m", grid,
+                                           clock=FakeClock())
+        assert set(manifest.job_states().values()) == {"pending"}
+
+
+class TestCacheEtags:
+    def test_etag_is_schema_qualified_strong_validator(self):
+        from repro.harness.campaign import CACHE_SCHEMA_VERSION, RunCache
+        etag = RunCache.etag("ab" * 32)
+        assert etag == f'"{CACHE_SCHEMA_VERSION}-{"ab" * 32}"'
+        assert etag.startswith('"') and etag.endswith('"')
+
+    def test_read_envelope_returns_exact_disk_bytes(self, manifest):
+        CampaignWorker(manifest, worker_id="w").run(max_jobs=1)
+        key = next(k for k, s in manifest.job_states().items()
+                   if s == "done")
+        data = manifest.cache.read_envelope(key)
+        path = manifest.cache.root / key[:2] / f"{key}.json"
+        assert data == path.read_bytes()
+        envelope = json.loads(data)
+        assert envelope["key"] == key and "record" in envelope
+
+    def test_read_envelope_rejects_missing_and_corrupt(self, manifest):
+        key = manifest.unique[0].key
+        assert manifest.cache.read_envelope(key) is None
+        path = manifest.cache.root / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert manifest.cache.read_envelope(key) is None
+        path.write_text(json.dumps({"key": "other", "schema": 0,
+                                    "record": {}}))
+        assert manifest.cache.read_envelope(key) is None
+
+
 class TestStatus:
     def test_status_json_schema_roundtrips(self, manifest):
         CampaignWorker(manifest, worker_id="w").run(max_jobs=2)

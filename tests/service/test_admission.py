@@ -1,0 +1,85 @@
+"""Tests for the bounded, tenant-fair admission queue."""
+
+import pytest
+
+from repro.service.admission import AdmissionQueue, QueueFullError
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        q = AdmissionQueue(limit=16)
+        for item in ("a1", "a2", "a3"):
+            q.submit("alice", item)
+        for item in ("b1", "b2"):
+            q.submit("bob", item)
+        order = [q.pop_next() for _ in range(5)]
+        # alice's backlog cannot starve bob: strict alternation while
+        # both have work, FIFO within each tenant
+        assert order == ["a1", "b1", "a2", "b2", "a3"]
+
+    def test_single_tenant_is_fifo(self):
+        q = AdmissionQueue(limit=4)
+        for item in ("x", "y", "z"):
+            q.submit("t", item)
+        assert [q.pop_next() for _ in range(3)] == ["x", "y", "z"]
+
+    def test_late_tenant_joins_ring_at_back(self):
+        q = AdmissionQueue(limit=8)
+        q.submit("a", "a1")
+        q.submit("a", "a2")
+        assert q.pop_next() == "a1"
+        q.submit("b", "b1")
+        assert [q.pop_next(), q.pop_next()] == ["a2", "b1"]
+
+    def test_empty_pop_returns_none(self):
+        assert AdmissionQueue().pop_next() is None
+
+
+class TestBound:
+    def test_refuses_over_limit(self):
+        q = AdmissionQueue(limit=2)
+        q.submit("a", "1")
+        q.submit("b", "2")
+        with pytest.raises(QueueFullError):
+            q.submit("c", "3")
+        assert q.refused == 1 and q.admitted == 2
+
+    def test_bound_is_global_not_per_tenant(self):
+        q = AdmissionQueue(limit=2)
+        q.submit("a", "1")
+        q.submit("a", "2")
+        with pytest.raises(QueueFullError):
+            q.submit("b", "3")
+
+    def test_drain_reopens_admission(self):
+        q = AdmissionQueue(limit=1)
+        q.submit("a", "1")
+        with pytest.raises(QueueFullError):
+            q.submit("a", "2")
+        assert q.pop_next() == "1"
+        q.submit("a", "2")  # no raise
+        assert len(q) == 1
+
+
+class TestBookkeeping:
+    def test_len_and_contains(self):
+        q = AdmissionQueue(limit=8)
+        q.submit("a", "x")
+        q.submit("b", "y")
+        assert len(q) == 2 and "x" in q and "z" not in q
+
+    def test_drop_removes_and_cleans_ring(self):
+        q = AdmissionQueue(limit=8)
+        q.submit("a", "x")
+        q.submit("b", "y")
+        assert q.drop("x")
+        assert not q.drop("x")
+        assert list(q.tenants()) == ["b"]
+        assert q.pop_next() == "y"
+        assert q.pop_next() is None
+
+    def test_pending_snapshot(self):
+        q = AdmissionQueue(limit=8)
+        q.submit("a", "x")
+        q.submit("a", "y")
+        assert q.pending() == {"a": ["x", "y"]}
