@@ -22,8 +22,18 @@ measured per workload: ``lockstep``, whose injection cost is pure
 execution (the fork path's headline win), and ``detection``, the full
 pipeline where the OoO timing model bounds the gain.
 
+For the ``detection`` scheme the fork path is measured twice more:
+with the **pre-fork timing splice** disabled (``REPRO_TIMING_SPLICE=0``
+— every fault job re-times the whole faulty trace through the OoO
+model, the pre-splice behaviour) and enabled (the golden prefix's
+timing is spliced from a shared cursor and only the post-fork suffix is
+re-timed).  ``splice_speedup`` is the ratio of the two, and the
+``mean_detection_*`` headline metrics gate the full detection pipeline
+the way ``mean_forked_fps`` gates pure execution.
+
 The benchmark is also an **identity gate**: forked and full runs of the
-identical fault grid must produce byte-identical records, both executed
+identical fault grid must produce byte-identical records — and for the
+detection scheme, spliced and unspliced timing too — both executed
 serially and through a manifest worker (lease → execute → shared cache
 → collect).  Any divergence fails the run before any number is printed.
 
@@ -52,6 +62,7 @@ from repro.detection.faults import TransientFault
 from repro.harness.campaign import CAMPAIGN_SITES, JobSpec, execute_job
 from repro.harness.manifest import CampaignManifest
 from repro.harness.orchestrator import CampaignWorker, collect
+from repro.core.timing import TIMING_SPLICE_ENV
 from repro.schemes.base import FORK_INJECTION_ENV
 from repro.workloads.suite import benchmark_trace, configure_trace_store
 
@@ -132,6 +143,22 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
                     raise AssertionError(
                         f"forked records diverge from full execution "
                         f"({name}/{scheme}, serial path)")
+                splice = None
+                if scheme == "detection":
+                    # same grid, fork path, timing splice vetoed: every
+                    # job re-times the whole faulty trace (the pre-splice
+                    # pipeline).  Records must not notice the difference.
+                    os.environ[TIMING_SPLICE_ENV] = "0"
+                    nosplice_s, nosplice_json = time_jobs(specs, repeat)
+                    os.environ.pop(TIMING_SPLICE_ENV, None)
+                    if nosplice_json != forked_json:
+                        raise AssertionError(
+                            f"timing-spliced records diverge from full "
+                            f"re-timing ({name}/{scheme}, serial path)")
+                    splice = {
+                        "nosplice_fps": round(trials / nosplice_s, 1),
+                        "splice_speedup": round(nosplice_s / forked_s, 2),
+                    }
                 # batch path: the same fault cell as ONE fault-batch job
                 # (shared fork cursor, one golden-column sweep total);
                 # its nested per-fault records must be byte-identical to
@@ -152,6 +179,7 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
                     "batch_fps": round(trials / batch_s, 1),
                     "speedup": round(full_s / forked_s, 2),
                     "batch_speedup": round(full_s / batch_s, 2),
+                    **(splice or {}),
                 }
             results[name] = per_scheme
 
@@ -179,12 +207,14 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
         os.environ.pop(FORK_INJECTION_ENV, None)
         configure_trace_store(None)
 
-    # headline numbers: the execution-bound scheme, averaged over workloads
+    # headline numbers: the execution-bound scheme, averaged over
+    # workloads, plus the full detection pipeline with the timing splice
     lockstep = [results[name]["lockstep"] for name in results]
+    detection = [results[name]["detection"] for name in results]
     n = len(lockstep)
     return {
         "bench": "fault_campaign",
-        "schema": 2,
+        "schema": 3,
         "scale": scale,
         "trials": trials,
         "repeat": repeat,
@@ -198,6 +228,16 @@ def run(workloads: list[str], scale: str, trials: int, repeat: int) -> dict:
         "mean_speedup": round(sum(r["speedup"] for r in lockstep) / n, 2),
         "mean_batch_speedup": round(
             sum(r["batch_speedup"] for r in lockstep) / n, 2),
+        "mean_detection_full_fps": round(
+            sum(r["full_fps"] for r in detection) / n, 1),
+        "mean_detection_nosplice_fps": round(
+            sum(r["nosplice_fps"] for r in detection) / n, 1),
+        "mean_detection_fps": round(
+            sum(r["forked_fps"] for r in detection) / n, 1),
+        "mean_detection_speedup": round(
+            sum(r["forked_fps"] / r["full_fps"] for r in detection) / n, 2),
+        "mean_splice_speedup": round(
+            sum(r["splice_speedup"] for r in detection) / n, 2),
     }
 
 
@@ -212,7 +252,8 @@ def check_against(payload: dict, baseline_path: str, tolerance: float) -> int:
     spec.loader.exec_module(gate)
     return gate.check_metrics(
         payload, baseline_path, tolerance,
-        ("mean_forked_fps", "mean_speedup", "mean_batch_fps"))
+        ("mean_forked_fps", "mean_speedup", "mean_batch_fps",
+         "mean_detection_fps", "mean_detection_speedup"))
 
 
 def main(argv: list[str] | None = None) -> int:

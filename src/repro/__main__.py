@@ -9,7 +9,8 @@ Commands:
     underlying runs through the campaign engine.
 ``campaign [--kind baseline|detection|fault|fault-batch|recovery]
 [--scheme NAME] [--benchmark NAMES] [--trials N] [--batch-size N]
-[--workers N] [--cache-dir DIR] [--shard K/N] [--manifest DIR] [--json]``
+[--timing cycle|interval] [--workers N] [--cache-dir DIR] [--shard K/N]
+[--manifest DIR] [--json]``
     Run a campaign grid through the parallel engine under any registered
     protection scheme (``unprotected``, ``lockstep``, ``rmt``,
     ``detection``).  Identical grids are incremental: a warm cache
@@ -111,7 +112,7 @@ def _build_grid(args: argparse.Namespace, names: list[str]):
     grid, _meta = build_grid({
         "kind": args.kind, "scheme": args.scheme, "scale": args.scale,
         "benchmarks": names, "trials": args.trials, "seed": args.seed,
-        "batch_size": args.batch_size,
+        "batch_size": args.batch_size, "timing": args.timing,
     })
     return grid
 
@@ -364,7 +365,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     if getattr(args, "schemes", False):
         from repro.schemes import iter_schemes
         print(f"{'scheme':<13}{'detects':>9}{'hard faults':>13}"
-              f"{'recovery':>10}{'fork':>6}  description")
+              f"{'recovery':>10}{'fork':>6}{'splice':>8}  description")
         for scheme in iter_schemes():
             caps = scheme.capabilities()
             print(f"{scheme.name:<13}"
@@ -372,6 +373,7 @@ def cmd_list(args: argparse.Namespace) -> int:
                   f"{'yes' if caps['covers_hard_faults'] else 'no':>13}"
                   f"{'yes' if caps['supports_recovery'] else 'no':>10}"
                   f"{'yes' if caps['supports_fork_injection'] else 'no':>6}"
+                  f"{'yes' if caps['supports_timing_splice'] else 'no':>8}"
                   f"  {scheme.description}")
         return 0
     from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
@@ -434,6 +436,11 @@ def make_parser() -> argparse.ArgumentParser:
                         help="protection scheme to run the campaign under")
     p_camp.add_argument("--trials", type=int, default=30,
                         help="jobs per benchmark (fault sites cycle)")
+    p_camp.add_argument("--timing", default="cycle",
+                        choices=["cycle", "interval"],
+                        help="timing model for fault grids: cycle = the "
+                             "exact OoO model; interval = calibrated "
+                             "estimate from the golden timing record")
     p_camp.add_argument("--seed", type=int, default=0)
     p_camp.add_argument("--scale", default="small",
                         choices=["small", "default"])

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_ns
-from repro.core.ooo_core import CoreResult, OoOCore
+from repro.core.ooo_core import CoreResult
+from repro.core.timing import time_bare
 from repro.isa.executor import Trace
 
 #: Cycles the trailing core runs behind the leading core (decorrelates
@@ -53,7 +54,7 @@ def run_lockstep(trace: Trace, config: SystemConfig,
     executes twice on identical hardware; area is doubled because the
     second core is a full copy.
     """
-    base = OoOCore(config).run(trace)
+    base = time_bare(trace, config)
     cycles = base.cycles + skew_cycles + COMPARATOR_DEPTH_CYCLES
     period = config.main_core.clock().period_ticks
     detection_latency = ticks_to_ns(

@@ -23,7 +23,8 @@ from dataclasses import dataclass, replace
 
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_ns
-from repro.core.ooo_core import CoreResult, OoOCore
+from repro.core.ooo_core import CoreResult
+from repro.core.timing import time_bare
 from repro.isa.executor import Trace
 
 #: Area added by RMT support (comparator, load value queue, thread state).
@@ -69,8 +70,10 @@ def rmt_config(config: SystemConfig) -> SystemConfig:
 
 def run_rmt(trace: Trace, config: SystemConfig) -> RMTResult:
     """Time ``trace`` under redundant multi-threading on the main core."""
-    base = OoOCore(config).run(trace)
-    shared = OoOCore(rmt_config(config)).run(trace)
+    # both runs are pure functions of (trace, config): served from the
+    # trace's golden timing records when present, recorded otherwise
+    base = time_bare(trace, config)
+    shared = time_bare(trace, rmt_config(config))
     period = config.main_core.clock().period_ticks
     # the trailing thread lags by roughly the instruction window
     detection_latency = ticks_to_ns(config.main_core.rob_entries * period)

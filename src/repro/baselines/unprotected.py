@@ -10,10 +10,15 @@ paper, and the reference point for the area/power overhead claims of
 from __future__ import annotations
 
 from repro.common.config import SystemConfig
-from repro.core.ooo_core import CoreResult, OoOCore
+from repro.core.ooo_core import CoreResult
+from repro.core.timing import time_bare
 from repro.isa.executor import Trace
 
 
 def run_baseline(trace: Trace, config: SystemConfig) -> CoreResult:
-    """Time ``trace`` on an unprotected main core (fresh caches/predictor)."""
-    return OoOCore(config).run(trace)
+    """Time ``trace`` on an unprotected main core (fresh caches/predictor).
+
+    Served from the trace's golden timing record when one exists (the
+    record *is* the stored output of this run — see
+    :mod:`repro.core.timing`); recorded on first use otherwise."""
+    return time_bare(trace, config)

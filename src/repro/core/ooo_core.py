@@ -26,10 +26,20 @@ The detection system attaches through :class:`CommitHook`:
 * ``post_commit`` lets it pause commit afterwards (the 16-cycle register
   checkpoint at the end of a segment — paper §VI "Register Checkpoint
   Overhead").
+
+The run loop is *resumable*: all mutable run state lives in a
+:class:`CoreRunState` capsule, ``run_rows`` advances it over a half-open
+row range, and :meth:`OoOCore.fork` deep-copies a mid-run (core, state,
+hook) bundle into an isolated continuation.  This is what the timing
+splice (ROADMAP item 2) builds on: time a golden trace once, snapshot at
+keyframe-like boundaries, and re-time only the post-fork suffix of each
+faulty trace — byte-identical to a full re-timing because it *is* the
+same loop, resumed.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
@@ -71,6 +81,14 @@ class CommitHook:
         waiting for outstanding checks, paper §IV-H)."""
         return last_commit_cycle
 
+    def clone_shared(self) -> tuple:
+        """Objects :meth:`OoOCore.fork` must alias, never deep-copy, when
+        snapshotting a run this hook is attached to: bound trace columns
+        (mmap-backed memoryviews are not copyable), the program, and other
+        immutable structure.  Mutable hook state is *not* listed here —
+        forked continuations need their own copy of it."""
+        return ()
+
 
 @dataclass
 class CoreResult:
@@ -96,6 +114,27 @@ class CoreResult:
 FRONTEND_DEPTH = 4
 
 
+class CoreRunState:
+    """Every mutable local of the run loop, boxed so a run can pause.
+
+    ``run_rows`` loads these into locals on entry and writes them back on
+    exit, so boxing costs nothing on the per-row path.  The capsule holds
+    plain ints/lists/dicts only — ``copy.deepcopy`` (via
+    :meth:`OoOCore.fork`) snapshots it exactly.
+    """
+
+    __slots__ = (
+        "next_row",
+        "int_ready", "fp_ready", "fu_pools",
+        "rob_ring", "rob_head", "iq_ring", "iq_head",
+        "lq_ring", "lq_head", "sq_ring", "sq_head",
+        "store_forward",
+        "fetch_cycle", "fetch_slots", "current_fetch_line", "icache_ready",
+        "last_commit_cycle", "commit_slots", "commit_floor",
+        "stall_cycles_total", "total_uops",
+    )
+
+
 class OoOCore:
     """The 3-wide out-of-order core of Table I."""
 
@@ -107,12 +146,83 @@ class OoOCore:
         self.hierarchy = MemoryHierarchy(config.memory, self.clock)
         self.predictor = TournamentPredictor(config.branch)
 
-    def run(self, trace: Trace, hook: CommitHook | None = None) -> CoreResult:
-        """Simulate the committed ``trace``; returns timing totals.
+    def start_state(self) -> CoreRunState:
+        """A fresh run state positioned before row 0."""
+        core = self.core
+        s = CoreRunState()
+        s.next_row = 0
+        # register ready times: int and fp files
+        s.int_ready = [0] * 32
+        s.fp_ready = [0] * 32
+        # functional units: next-free cycle per unit instance
+        s.fu_pools = {
+            FuClass.INT_ALU: [0] * core.int_alus,
+            FuClass.FP_ALU: [0] * core.fp_alus,
+            FuClass.MULDIV: [0] * core.muldiv_alus,
+            FuClass.MEM: [0] * 2,       # one load port + one store port
+            FuClass.BRANCH: [0] * core.int_alus,  # branches use int ALUs
+        }
+        # occupancy rings: cycle at which the slot is released
+        s.rob_ring = [0] * core.rob_entries
+        s.rob_head = 0
+        s.iq_ring = [0] * core.iq_entries
+        s.iq_head = 0
+        s.lq_ring = [0] * core.lq_entries
+        s.lq_head = 0
+        s.sq_ring = [0] * core.sq_entries
+        s.sq_head = 0
+        # in-flight stores for store-to-load forwarding: addr -> data cycle
+        s.store_forward = {}
+        # fetch state
+        s.fetch_cycle = 0        # cycle the next fetch group starts
+        s.fetch_slots = 0        # instructions fetched in fetch_cycle
+        s.current_fetch_line = -1
+        s.icache_ready = 0
+        # commit state
+        s.last_commit_cycle = 0
+        s.commit_slots = 0
+        s.commit_floor = 0       # earliest next commit (stall injection)
+        s.stall_cycles_total = 0
+        s.total_uops = 0
+        return s
 
-        If ``hook`` is given, its pre/post-commit methods are invoked for
-        every instruction in commit order (this is how the parallel error
-        detection attaches to the core).
+    def fork(self, state: CoreRunState, hook: CommitHook | None = None):
+        """Deep-copy this mid-run (core, state, hook) into an isolated
+        continuation.
+
+        Deep-copying the bundle in one call preserves internal aliasing;
+        configuration objects, the clock, and whatever the hook declares
+        via :meth:`CommitHook.clone_shared` are seeded into the memo so
+        they are shared, not copied (trace columns *must* be shared —
+        mmap-backed memoryviews cannot be deep-copied at all).
+        """
+        cfg = self.config
+        shared = [cfg, cfg.main_core, cfg.branch, cfg.memory, cfg.checker,
+                  cfg.detection, self.core, self.clock]
+        if hook is not None:
+            shared.extend(hook.clone_shared())
+        memo = {id(obj): obj for obj in shared}
+        return copy.deepcopy((self, state, hook), memo)
+
+    def run_rows(
+        self,
+        trace: Trace,
+        hook: CommitHook | None,
+        state: CoreRunState,
+        stop: int,
+        record=None,
+    ) -> None:
+        """Advance the run over rows ``[state.next_row, stop)``.
+
+        Does not call ``hook.begin``/``hook.finish`` — callers sequence
+        those (``run`` does both; the timing splice calls ``begin`` once
+        per binding and resumes ``run_rows`` from a forked state).
+
+        If ``record`` is given it must expose five append-able columns
+        (``issue``, ``commit``, ``branch``, ``l1d``, ``l2``); one entry
+        per row is appended: issue/commit cycles, branch outcome (-1 no
+        branch, 0 predicted, 1 mispredicted), and per-row L1D/L2 miss
+        deltas.  Recording does not perturb timing.
         """
         core = self.core
         meta_table = program_meta(trace.program)
@@ -128,44 +238,29 @@ class OoOCore:
         lq_size = core.lq_entries
         sq_size = core.sq_entries
 
-        # register ready times: int and fp files
-        int_ready = [0] * 32
-        fp_ready = [0] * 32
-
-        # functional units: next-free cycle per unit instance
-        fu_pools: dict[FuClass, list[int]] = {
-            FuClass.INT_ALU: [0] * core.int_alus,
-            FuClass.FP_ALU: [0] * core.fp_alus,
-            FuClass.MULDIV: [0] * core.muldiv_alus,
-            FuClass.MEM: [0] * 2,       # one load port + one store port
-            FuClass.BRANCH: [0] * core.int_alus,  # branches use int ALUs
-        }
-
-        # occupancy rings: cycle at which the slot is released
-        rob_ring = [0] * rob_size
-        rob_head = 0
-        iq_ring = [0] * iq_size
-        iq_head = 0
-        lq_ring = [0] * lq_size
-        lq_head = 0
-        sq_ring = [0] * sq_size
-        sq_head = 0
-
-        # in-flight stores for store-to-load forwarding: addr -> data cycle
-        store_forward: dict[int, int] = {}
-
-        # fetch state
-        fetch_cycle = 0          # cycle the next fetch group starts
-        fetch_slots = 0          # instructions fetched in fetch_cycle
+        # unbox the capsule into locals for the hot loop
+        int_ready = state.int_ready
+        fp_ready = state.fp_ready
+        fu_pools = state.fu_pools
+        rob_ring = state.rob_ring
+        rob_head = state.rob_head
+        iq_ring = state.iq_ring
+        iq_head = state.iq_head
+        lq_ring = state.lq_ring
+        lq_head = state.lq_head
+        sq_ring = state.sq_ring
+        sq_head = state.sq_head
+        store_forward = state.store_forward
+        fetch_cycle = state.fetch_cycle
+        fetch_slots = state.fetch_slots
         line_shift = 6           # 64-byte I-cache lines
-        current_fetch_line = -1
-        icache_ready = 0
-
-        # commit state
-        last_commit_cycle = 0
-        commit_slots = 0
-        commit_floor = 0         # earliest next commit (stall injection)
-        stall_cycles_total = 0
+        current_fetch_line = state.current_fetch_line
+        icache_ready = state.icache_ready
+        last_commit_cycle = state.last_commit_cycle
+        commit_slots = state.commit_slots
+        commit_floor = state.commit_floor
+        stall_cycles_total = state.stall_cycles_total
+        total_uops = state.total_uops
 
         # trace columns (structure of arrays: no row objects on this path)
         pcs = trace.pcs
@@ -175,17 +270,26 @@ class OoOCore:
         mem_addr = trace.mem_addr
         final_next_pc = trace.final_next_pc
         total = len(pcs)
-        total_uops = 0
 
-        if hook is not None:
-            hook.begin(trace)
+        if record is not None:
+            rec_issue = record.issue
+            rec_commit = record.commit
+            rec_branch = record.branch
+            rec_l1d = record.l1d
+            rec_l2 = record.l2
+            l1d_cache = hierarchy.l1d
+            l2_cache = hierarchy.l2
 
-        for i in range(total):
+        for i in range(state.next_row, stop):
             pc = pcs[i]
             meta = metas[pc]
             op = meta.op
             uops = meta.uops
             total_uops += uops
+            if record is not None:
+                l1d_before = l1d_cache.misses
+                l2_before = l2_cache.misses
+                branch_outcome = -1
 
             # ---- fetch -----------------------------------------------------
             line = pc_to_byte_address(pc) >> line_shift
@@ -283,6 +387,8 @@ class OoOCore:
                     takens[i] == 1,
                     pcs[i + 1] if i + 1 < total else final_next_pc,
                 )
+                if record is not None:
+                    branch_outcome = 1 if mispredicted else 0
                 if mispredicted:
                     redirect = done + mispredict_penalty
                     if redirect > fetch_cycle:
@@ -349,20 +455,67 @@ class OoOCore:
                         fetch_slots = 0
                         current_fetch_line = -1
 
-        total_cycles = last_commit_cycle + 1
+            if record is not None:
+                rec_issue.append(issue)
+                rec_commit.append(commit_cycle)
+                rec_branch.append(branch_outcome)
+                rec_l1d.append(l1d_cache.misses - l1d_before)
+                rec_l2.append(l2_cache.misses - l2_before)
+
+        # box the loop state back up for the next resume
+        state.next_row = stop
+        state.rob_head = rob_head
+        state.iq_head = iq_head
+        state.lq_head = lq_head
+        state.sq_head = sq_head
+        state.fetch_cycle = fetch_cycle
+        state.fetch_slots = fetch_slots
+        state.current_fetch_line = current_fetch_line
+        state.icache_ready = icache_ready
+        state.last_commit_cycle = last_commit_cycle
+        state.commit_slots = commit_slots
+        state.commit_floor = commit_floor
+        state.stall_cycles_total = stall_cycles_total
+        state.total_uops = total_uops
+
+    def finish_run(
+        self,
+        trace: Trace,
+        hook: CommitHook | None,
+        state: CoreRunState,
+    ) -> CoreResult:
+        """Close a run whose rows have all been advanced; returns totals."""
+        total_cycles = state.last_commit_cycle + 1
         system_cycles = total_cycles
         if hook is not None:
             system_cycles = hook.finish(total_cycles)
-
         return CoreResult(
             cycles=total_cycles,
-            instructions=total,
-            uops=total_uops,
+            instructions=len(trace),
+            uops=state.total_uops,
             system_cycles=system_cycles,
             branch_lookups=self.predictor.lookups,
             branch_mispredicts=(self.predictor.direction_mispredicts
                                 + self.predictor.target_mispredicts),
-            l1d_misses=hierarchy.l1d.misses,
-            l2_misses=hierarchy.l2.misses,
-            commit_stall_cycles=stall_cycles_total,
+            l1d_misses=self.hierarchy.l1d.misses,
+            l2_misses=self.hierarchy.l2.misses,
+            commit_stall_cycles=state.stall_cycles_total,
         )
+
+    def run(
+        self,
+        trace: Trace,
+        hook: CommitHook | None = None,
+        record=None,
+    ) -> CoreResult:
+        """Simulate the committed ``trace``; returns timing totals.
+
+        If ``hook`` is given, its pre/post-commit methods are invoked for
+        every instruction in commit order (this is how the parallel error
+        detection attaches to the core).
+        """
+        if hook is not None:
+            hook.begin(trace)
+        state = self.start_state()
+        self.run_rows(trace, hook, state, len(trace), record=record)
+        return self.finish_run(trace, hook, state)

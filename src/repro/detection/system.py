@@ -33,6 +33,14 @@ from repro.common.stats import Samples
 from repro.common.time import ticks_to_ns
 from repro.core.inorder_core import InOrderCoreModel
 from repro.core.ooo_core import CommitHook, CoreResult, OoOCore
+from repro.core.timing import (
+    config_key,
+    resolve_timing_mode,
+    time_bare,
+    timing_model,
+    timing_record,
+    timing_splice_enabled,
+)
 from repro.detection.checker import CheckError, SegmentChecker
 from repro.detection.checkpoint import ArchStateTracker, RegisterCheckpoint
 from repro.detection.faults import FaultSite, TransientFault
@@ -205,6 +213,25 @@ class ParallelErrorDetection(CommitHook):
         self._mem_used = trace.mem_used
         self._total = len(trace)
         self._final_next_pc = trace.final_next_pc
+
+    def clone_shared(self) -> tuple:
+        """Immutable structure :meth:`OoOCore.fork` aliases into timing
+        snapshots instead of deep-copying: the configuration, program and
+        metadata, the program-wide handler table, the bound trace columns
+        (mmap-backed memoryviews cannot be deep-copied at all), and the
+        checker's trace bindings.  Everything else on the hook is mutable
+        per-run state and *is* copied."""
+        checker = self.segment_checker
+        shared = [self.config, self.program, self.metas, checker.program,
+                  checker._steps]
+        shared.extend(obj for obj in (checker._trace, checker._golden)
+                      if obj is not None)
+        for name in ("_pcs", "_dsts", "_mem_off", "_mem_kind", "_mem_addr",
+                     "_mem_value", "_mem_used"):
+            column = getattr(self, name, None)
+            if column is not None:
+                shared.append(column)
+        return tuple(shared)
 
     def _next_pc_of(self, seq: int) -> int:
         return (self._pcs[seq + 1] if seq + 1 < self._total
@@ -382,8 +409,103 @@ class DetectionRunResult:
 
 
 def run_unprotected(trace: Trace, config: SystemConfig) -> CoreResult:
-    """Time ``trace`` on a bare main core (the normalisation baseline)."""
-    return OoOCore(config).run(trace)
+    """Time ``trace`` on a bare main core (the normalisation baseline).
+
+    Served from the trace's golden timing record when one exists — the
+    record *is* the stored output of this exact run — and recorded (and
+    published to the trace store) on first use otherwise."""
+    return time_bare(trace, config)
+
+
+#: Snapshot spacing floor for timing-splice cursors, in trace rows: the
+#: per-fault re-timed prefix is bounded by the spacing, the snapshot
+#: count by ``len(trace) / spacing``.
+SPLICE_SNAPSHOT_MIN_INTERVAL = 1024
+
+#: Timing-splice cursors kept alive per process (each pins its golden
+#: trace and up to ~16 deep state snapshots).
+_SPLICE_CURSOR_CAP = 4
+
+
+class _TimingSpliceCursor:
+    """A resumable timed run of one golden trace under detection.
+
+    Walks the golden trace through a fresh :class:`ParallelErrorDetection`
+    hook exactly once, monotonically, deep-snapshotting the full (core,
+    run-state, hook) bundle at fixed row boundaries via
+    :meth:`OoOCore.fork`.  A fault job then clones the snapshot at the
+    last boundary before its fork seq and re-times only the rows from
+    there — byte-identical to a full re-timing because it is the same
+    loop resumed from the same state:
+
+    * pre-fork rows of a forked trace are splices of the golden columns,
+      so re-timing them from a boundary reproduces the golden timing;
+    * the cursor binds the checker's columnar fast path against the
+      golden trace itself, which takes exactly the code path (and yields
+      exactly the per-segment check results and checker-core timings)
+      that pre-fork segments of a forked run take.
+    """
+
+    def __init__(self, golden: Trace, config: SystemConfig) -> None:
+        self.golden = golden
+        self.config = config
+        total = len(golden)
+        self.interval = max(SPLICE_SNAPSHOT_MIN_INTERVAL, -(-total // 16))
+        self.core = OoOCore(config)
+        self.hook = ParallelErrorDetection(config, golden.program)
+        self.hook.begin(golden)
+        # a golden run is its own fork prefix: let every segment take the
+        # checker's columnar path, exactly like a forked run's prefix
+        self.hook.segment_checker.bind_fork(golden, golden, total + 1)
+        self.state = self.core.start_state()
+        self._snapshots = {0: self.core.fork(self.state, self.hook)}
+
+    def bundle(self, fork_seq: int):
+        """An isolated (core, state, hook) clone timed to the last
+        snapshot boundary at or before ``fork_seq``, ready to resume."""
+        boundary = min(fork_seq, len(self.golden))
+        boundary -= boundary % self.interval
+        snapshot = self._snapshots.get(boundary)
+        if snapshot is None:
+            # advance the live run monotonically, snapshotting every
+            # boundary it crosses (later faults reuse them)
+            while self.state.next_row < boundary:
+                target = min(self.state.next_row + self.interval, boundary)
+                self.core.run_rows(self.golden, self.hook, self.state, target)
+                self._snapshots[target] = self.core.fork(self.state, self.hook)
+            snapshot = self._snapshots[boundary]
+        core, state, hook = snapshot
+        return core.fork(state, hook)
+
+
+#: (config key → cursor entries) in insertion order, evicted FIFO at
+#: :data:`_SPLICE_CURSOR_CAP`; entries verify golden identity on lookup.
+_SPLICE_CURSORS: dict = {}
+
+
+def _splice_cursor(golden: Trace, config: SystemConfig) -> _TimingSpliceCursor:
+    key = (id(golden), config_key(config))
+    cursor = _SPLICE_CURSORS.get(key)
+    if cursor is not None and cursor.golden is golden:
+        return cursor
+    cursor = _TimingSpliceCursor(golden, config)
+    _SPLICE_CURSORS[key] = cursor
+    while len(_SPLICE_CURSORS) > _SPLICE_CURSOR_CAP:
+        _SPLICE_CURSORS.pop(next(iter(_SPLICE_CURSORS)))
+    return cursor
+
+
+def _spliced_detection_run(trace: Trace, config: SystemConfig,
+                           ) -> DetectionRunResult:
+    """Re-time only the post-fork suffix of a forked faulty trace."""
+    cursor = _splice_cursor(trace.fork_of, config)
+    core, state, hook = cursor.bundle(trace.fork_seq)
+    # rebinding is all ``begin`` does: column refs plus the checker's
+    # fork binding (now golden vs faulty, from the faulty trace's seam)
+    hook.begin(trace)
+    core.run_rows(trace, hook, state, len(trace))
+    return DetectionRunResult(core=core.finish_run(trace, hook, state),
+                              report=hook.report)
 
 
 def run_with_detection(
@@ -392,13 +514,43 @@ def run_with_detection(
     checkpoint_faults: list[TransientFault] | None = None,
     checker_faults: list[TransientFault] | None = None,
     interrupt_seqs: list[int] | None = None,
+    golden: Trace | None = None,
 ) -> DetectionRunResult:
     """Time ``trace`` on a main core with parallel error detection attached.
 
     Fault injection into the *main core's execution* happens earlier, when
     the trace is produced (``execute_program(program, fault_injector=...)``);
     checkpoint/checker faults and interrupt arrivals are modelled here.
+
+    Timing path selection (see :mod:`repro.core.timing`):
+
+    * interval mode (per JobSpec, or ``REPRO_TIMING_MODE=interval``)
+      drives the hook from analytical commit estimates calibrated on the
+      golden timing record (``golden``, or the trace's fork parent, or
+      the trace itself when it is clean);
+    * in cycle mode, a forked faulty trace with no detection-side faults
+      or interrupts resumes a golden timing snapshot at the last splice
+      boundary before its fork seq and re-times only the suffix —
+      byte-identical to the full re-timing below, which remains the path
+      for everything else (and the whole story under
+      ``REPRO_TIMING_SPLICE=0``).
     """
+    if resolve_timing_mode() == "interval":
+        hook = ParallelErrorDetection(
+            config, trace.program,
+            checkpoint_faults=checkpoint_faults,
+            checker_faults=checker_faults,
+            interrupt_seqs=interrupt_seqs,
+        )
+        base = timing_record(golden or trace.fork_of or trace, config)
+        core_result = timing_model("interval").drive(trace, config, hook, base)
+        return DetectionRunResult(core=core_result, report=hook.report)
+    if (trace.fork_of is not None
+            and timing_splice_enabled()
+            and not checkpoint_faults
+            and not checker_faults
+            and not interrupt_seqs):
+        return _spliced_detection_run(trace, config)
     hook = ParallelErrorDetection(
         config, trace.program,
         checkpoint_faults=checkpoint_faults,

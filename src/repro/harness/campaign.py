@@ -54,6 +54,8 @@ from repro.common.records import (
     record_to_dict,
 )
 from repro.common.rng import derive
+from repro.core.timing import TIMING_MODES, timing_mode
+from repro.core.timing import config_key as timing_config_key
 from repro.detection.faults import FaultSite, TransientFault
 from repro.detection.system import run_with_detection
 from repro.schemes import get_scheme, scheme_names
@@ -81,7 +83,13 @@ from repro.workloads.trace_store import sweep_stale_temps
 #: ``faults`` tuple, and golden envelopes are binary columnar (store
 #: schema 3) — per-fault records stay byte-identical, but the spec
 #: description grew a field, so every key changes.
-CACHE_SCHEMA_VERSION = 5
+#: v6: specs carry a ``timing`` mode (``cycle`` re-times every run on
+#: the OoO model, ``interval`` estimates from the golden timing record),
+#: golden envelopes carry per-config timing columns (store schema 4),
+#: and detection-scheme fault jobs splice the pre-fork golden timing —
+#: ``cycle`` records stay byte-identical, but interval records are a
+#: genuinely different estimator, so the mode is part of every key.
+CACHE_SCHEMA_VERSION = 6
 
 #: Subdirectory of a cache root holding the shared golden-trace store
 #: (two-character key prefixes can never collide with it).
@@ -104,9 +112,14 @@ CAMPAIGN_SITES = (
 
 
 def config_fingerprint(config: SystemConfig) -> str:
-    """Stable content hash of a full system configuration."""
-    payload = canonical_json(asdict(config))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """Stable content hash of a full system configuration.
+
+    Delegates to :func:`repro.core.timing.config_key` so campaign
+    records and golden timing records address configurations by the
+    same key — a record's ``config_key`` can be looked up directly in a
+    trace's timing sections.
+    """
+    return timing_config_key(config)
 
 
 def unique_suffix() -> str:
@@ -135,11 +148,18 @@ class JobSpec:
     #: default (:data:`DEFAULT_SCHEMES`) so pre-registry call sites keep
     #: naming the same jobs
     scheme: str = ""
+    #: timing model the job runs under: ``cycle`` (the OoO model, exact)
+    #: or ``interval`` (calibrated estimate from the golden timing
+    #: record; see :mod:`repro.core.timing`)
+    timing: str = "cycle"
 
     def __post_init__(self) -> None:
         if not self.scheme:
             object.__setattr__(
                 self, "scheme", DEFAULT_SCHEMES.get(self.kind, "detection"))
+        if self.timing not in TIMING_MODES:
+            raise ValueError(f"unknown timing mode {self.timing!r}; "
+                             f"one of {TIMING_MODES} expected")
 
     def describe(self) -> dict:
         """The canonical description hashed into the cache key."""
@@ -159,6 +179,7 @@ class JobSpec:
                       if self.fault is not None else None),
             "faults": [describe_fault(fault) for fault in self.faults],
             "interrupt_seqs": list(self.interrupt_seqs),
+            "timing": self.timing,
         }
 
     def key(self) -> str:
@@ -342,7 +363,11 @@ def execute_job(spec: JobSpec) -> dict:
                          f"one of {JOB_KINDS} expected") from None
     scheme = get_scheme(spec.scheme)
     config_key = config_fingerprint(spec.config)
-    return record_to_dict(executor(spec, scheme, config_key))
+    # the spec's timing mode governs the whole job; the env override
+    # (REPRO_TIMING_MODE) still wins inside resolve_timing_mode, so one
+    # setting can force a whole campaign back to the cycle model
+    with timing_mode(spec.timing):
+        return record_to_dict(executor(spec, scheme, config_key))
 
 
 def _execute_shard(payload: tuple[str | None, list[tuple[int, JobSpec]]],
@@ -536,7 +561,8 @@ def fault_grid(benchmarks: Sequence[str],
                config: SystemConfig | None = None,
                seed: int = 0,
                kind: str = "fault",
-               scheme: str = "detection") -> CampaignGrid:
+               scheme: str = "detection",
+               timing: str = "cycle") -> CampaignGrid:
     """A fault-injection grid: ``trials`` jobs per benchmark, cycling
     through ``sites``, with fault positions drawn from a per-benchmark
     deterministic stream (so the grid is a pure function of its
@@ -564,7 +590,7 @@ def fault_grid(benchmarks: Sequence[str],
                 seq=rng.randrange(10, clean_len - 10),
                 bit=rng.randrange(0, 48))
             jobs.append(JobSpec(kind, name, scale, cfg, fault=fault,
-                                scheme=scheme))
+                                scheme=scheme, timing=timing))
     return CampaignGrid(tuple(jobs))
 
 
@@ -575,7 +601,8 @@ def fault_batch_grid(benchmarks: Sequence[str],
                      scale: str = "small",
                      config: SystemConfig | None = None,
                      seed: int = 0,
-                     scheme: str = "detection") -> CampaignGrid:
+                     scheme: str = "detection",
+                     timing: str = "cycle") -> CampaignGrid:
     """The batched counterpart of :func:`fault_grid`: the *same* fault
     stream (same seed → the identical fault set, fault for fault, as a
     ``kind="fault"`` grid), chunked into ``fault-batch`` jobs of up to
@@ -605,7 +632,8 @@ def fault_batch_grid(benchmarks: Sequence[str],
         for lo in range(0, len(faults), batch_size):
             jobs.append(JobSpec(
                 "fault-batch", name, scale, cfg,
-                faults=tuple(faults[lo:lo + batch_size]), scheme=scheme))
+                faults=tuple(faults[lo:lo + batch_size]), scheme=scheme,
+                timing=timing))
     return CampaignGrid(tuple(jobs))
 
 

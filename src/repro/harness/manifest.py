@@ -115,6 +115,7 @@ def spec_from_description(desc: dict,
                      for fields in desc.get("faults", ())),
         interrupt_seqs=tuple(desc["interrupt_seqs"]),
         scheme=desc["scheme"],
+        timing=desc.get("timing", "cycle"),
     )
 
 

@@ -700,7 +700,7 @@ class Trace:
         "mem_off", "mem_kind", "mem_addr", "mem_value", "mem_used",
         "final_next_pc", "final_xregs", "final_fregs", "memory", "halted",
         "uop_count", "load_count", "store_count", "crashed", "_rows",
-        "fork_of", "fork_seq", "_keyframes",
+        "fork_of", "fork_seq", "_keyframes", "timings", "store_ref",
     )
 
     def __init__(self, program: Program, *, pcs, dsts, takens,
@@ -738,6 +738,12 @@ class Trace:
         self.fork_of: Trace | None = None
         self.fork_seq: int = 0
         self._keyframes: "Keyframes | None" = None
+        #: golden timing records by config key (see repro.core.timing);
+        #: process-local memo, hydrated from store envelopes on read
+        self.timings: dict = {}
+        #: (store, key) binding when this trace came from / was put into a
+        #: trace store — lets timing records publish into the envelope
+        self.store_ref: tuple | None = None
         self._rows: _RowSeq | None = None
 
     def __len__(self) -> int:

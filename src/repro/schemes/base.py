@@ -148,6 +148,12 @@ class ProtectionScheme(abc.ABC):
     #: instead of re-executing the clean prefix (any scheme whose
     #: ``inject`` produces the faulty run with :meth:`faulty_trace`)
     supports_fork_injection: bool = False
+    #: the scheme's ``classify`` re-*times* forked faulty traces through
+    #: the detection pipeline, so it benefits from the pre-fork timing
+    #: splice (``repro.detection.system``); schemes that classify from
+    #: activations alone never time a faulty trace, and the splice (and
+    #: ``REPRO_TIMING_SPLICE``) is vacuously unobservable for them
+    supports_timing_splice: bool = False
     #: ``classify`` reads the faulty trace's architectural outcome
     #: (final state, length, crash flag).  Schemes that classify from
     #: the activation list alone — lockstep and RMT detect any committed
@@ -261,4 +267,5 @@ class ProtectionScheme(abc.ABC):
             "covers_hard_faults": self.covers_hard_faults,
             "supports_recovery": self.supports_recovery,
             "supports_fork_injection": self.supports_fork_injection,
+            "supports_timing_splice": self.supports_timing_splice,
         }

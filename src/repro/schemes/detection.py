@@ -36,6 +36,7 @@ class ParallelDetectionScheme(ProtectionScheme):
     covers_hard_faults = True
     supports_recovery = True
     supports_fork_injection = True
+    supports_timing_splice = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         # self-contained on purpose: a scheme-timing job is a pure
@@ -62,11 +63,16 @@ class ParallelDetectionScheme(ProtectionScheme):
             return FaultVerdict(activated=False, outcome="not_activated")
 
         side = system_faults([fault])
+        # `golden=clean` anchors the interval model's base timing curve to
+        # the clean trace, so interval verdicts are identical whether the
+        # faulty trace came from the fork path (fork_of set) or a full
+        # re-execution (fork_of None)
         run = run_with_detection(
             faulty, config,
             checkpoint_faults=side["checkpoint"] or None,
             checker_faults=side["checker"] or None,
-            interrupt_seqs=list(interrupt_seqs) or None)
+            interrupt_seqs=list(interrupt_seqs) or None,
+            golden=clean)
         if run.report.detected:
             event = run.report.first_event
             segment, entry = run.report.first_error_position()

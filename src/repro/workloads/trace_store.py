@@ -11,14 +11,14 @@ once per process.
 This module stores golden traces on disk next to the campaign run cache,
 content-addressed like it::
 
-    <root>/<key[:2]>/<key>.bin       binary columnar envelopes (schema 3)
+    <root>/<key[:2]>/<key>.bin       binary columnar envelopes (schema 4)
 
 where the key hashes the benchmark name, scale, the store schema, and a
 **fingerprint of the built program** (opcodes, operands, data image,
 entry point) — so a changed workload generator can never serve a stale
 trace.
 
-Schema 3 envelopes are **binary columnar**: one memory-mappable file per
+Schema 3/4 envelopes are **binary columnar**: one memory-mappable file per
 trace holding a small JSON header (scalars, register files, a block
 offset table, a CRC-32 of the data region) followed by 8-byte-aligned
 fixed-width column blocks —
@@ -32,6 +32,14 @@ columns as zero-copy memoryviews over the mapping: workers on one host
 share the page cache instead of each re-parsing JSON, and whole-column
 operations (checker fast path, fork-state replay) can wrap the same
 bytes in numpy without copying.
+
+Schema 4 adds optional **golden timing sections** — per-configuration
+per-instruction issue/commit cycles, branch outcomes and cache-miss
+deltas recorded by the OoO model's first clean run (see
+``repro.core.timing``) — appended as further blocks under the same CRC.
+They are strictly additive: the store *key* still hashes schema 3, so
+warm v3 stores keep serving traces and are upgraded in place by
+:meth:`TraceStore.put_timing`.
 
 Envelopes from earlier schemas (the JSON era) are never converted: the
 schema number is part of the store key, so old files are simply ignored
@@ -59,6 +67,8 @@ from array import array
 from pathlib import Path
 
 from repro.common.records import canonical_json
+from repro.core.ooo_core import CoreResult
+from repro.core.timing import TimingRecord
 from repro.isa.executor import Keyframe, Keyframes, Trace
 from repro.isa.memory_image import MemoryImage, bits_to_float, float_to_bits
 from repro.isa.program import Program
@@ -70,10 +80,27 @@ logger = logging.getLogger(__name__)
 #: silently stale traces.  v2: envelopes carry periodic state keyframes
 #: (:class:`repro.isa.executor.Keyframes`).  v3: binary columnar
 #: envelopes (one memory-mappable ``.bin`` file per trace; zero-copy
-#: column views; FP values as IEEE-754 bit patterns).
-TRACE_STORE_SCHEMA = 3
+#: column views; FP values as IEEE-754 bit patterns).  v4: envelopes may
+#: additionally carry golden per-instruction *timing* sections, one per
+#: system-configuration key (issue/commit cycles, branch outcome, L1D/L2
+#: miss deltas, plus the run's :class:`~repro.core.ooo_core.CoreResult`
+#: scalars), appended as further 8-aligned blocks in the same ``RTS3``
+#: layout and covered by the same data-region CRC.
+TRACE_STORE_SCHEMA = 4
 
-#: Leading magic of a schema-3 envelope file.
+#: Header schemas this reader accepts.  A v3 envelope is exactly a v4
+#: envelope with no timing sections: it reads as a *trace* hit and a
+#: *timing* miss, and the first published timing record upgrades the
+#: file in place.
+READABLE_SCHEMAS = frozenset({3, TRACE_STORE_SCHEMA})
+
+#: Schema generation folded into store *keys* — deliberately still 3:
+#: v4 is purely additive (same trace columns, same execution semantics),
+#: so existing envelopes stay addressable and upgrade in place instead
+#: of being orphaned by a key change.
+KEY_SCHEMA = 3
+
+#: Leading magic of a schema-3/4 envelope file.
 ENVELOPE_MAGIC = b"RTS3"
 
 #: Age (seconds) past which a stranded ``*.tmp.*`` file — a writer
@@ -157,17 +184,36 @@ _BLOCKS = (
     ("kf_m_off", "Q"), ("kf_m_addr", "Q"), ("kf_m_val", "Q"),
 )
 
-_TYPECODES = dict(_BLOCKS)
+#: Per-configuration timing blocks of a schema-4 envelope (appended
+#: after the trace blocks, one set per stored configuration key):
+#: issue/commit cycles, branch outcome (-1 none / 0 predicted /
+#: 1 mispredicted) and per-row L1D/L2 miss deltas (u16: a row can miss
+#: at most a handful of times; wider counts fail the write loudly).
+_TIMING_BLOCKS = (
+    ("tm_issue", "Q"), ("tm_commit", "Q"), ("tm_branch", "b"),
+    ("tm_l1d", "H"), ("tm_l2", "H"),
+)
 
-_ITEMSIZE = {"Q": 8, "b": 1, "B": 1}
+#: CoreResult scalars carried verbatim in each timing section's header.
+_TIMING_RESULT_FIELDS = (
+    "cycles", "instructions", "uops", "system_cycles", "branch_lookups",
+    "branch_mispredicts", "l1d_misses", "l2_misses", "commit_stall_cycles",
+)
+
+_TYPECODES = dict(_BLOCKS)
+_TIMING_TYPECODES = dict(_TIMING_BLOCKS)
+
+_ITEMSIZE = {"Q": 8, "b": 1, "B": 1, "H": 2}
 
 
 def _align8(n: int) -> int:
     return (n + 7) & ~7
 
 
-def _encode_envelope(key: str, trace: Trace) -> bytes:
-    """Serialise one golden trace (plus keyframes) as a schema-3 blob."""
+def _encode_envelope(key: str, trace: Trace,
+                     timings: dict | None = None) -> bytes:
+    """Serialise one golden trace (plus keyframes, plus any golden
+    timing records keyed by configuration) as a schema-4 blob."""
     kf = trace.keyframes()
     n = len(trace)
 
@@ -254,6 +300,30 @@ def _encode_envelope(key: str, trace: Trace) -> bytes:
         blobs.append((offset, data))
         offset += len(data)
 
+    # golden timing sections: further 8-aligned blocks per configuration
+    # key, sorted for byte-stable files
+    timing_header: dict[str, dict] = {}
+    for config_key in sorted(timings or ()):
+        record = timings[config_key]
+        section_blocks: dict[str, list[int]] = {}
+        section_columns = {
+            "tm_issue": record.issue, "tm_commit": record.commit,
+            "tm_branch": record.branch, "tm_l1d": record.l1d,
+            "tm_l2": record.l2,
+        }
+        for name, code in _TIMING_BLOCKS:
+            col = array(code, section_columns[name])
+            data = bytes(col)
+            offset = _align8(offset)
+            section_blocks[name] = [offset, len(col)]
+            blobs.append((offset, data))
+            offset += len(data)
+        timing_header[config_key] = {
+            "result": {field: getattr(record.result, field)
+                       for field in _TIMING_RESULT_FIELDS},
+            "blocks": section_blocks,
+        }
+
     region = bytearray(_align8(offset))
     for off, data in blobs:
         region[off:off + len(data)] = data
@@ -275,6 +345,8 @@ def _encode_envelope(key: str, trace: Trace) -> bytes:
         "kf_interval": kf.interval,
         "blocks": blocks,
     }
+    if timing_header:
+        header["timings"] = timing_header
     header_bytes = canonical_json(header).encode()
     data_start = _align8(len(ENVELOPE_MAGIC) + 4 + len(header_bytes))
     out = bytearray(data_start)
@@ -310,7 +382,7 @@ def _decode_envelope(buf, key: str, program: Program) -> Trace:
     """
     view = memoryview(buf)
     header, data_start = _read_header(view)
-    if header.get("schema") != TRACE_STORE_SCHEMA:
+    if header.get("schema") not in READABLE_SCHEMAS:
         raise _SchemaMismatch(f"envelope schema {header.get('schema')!r}")
     if header.get("key") != key:
         raise _CorruptEnvelope("envelope key does not match its path")
@@ -324,14 +396,17 @@ def _decode_envelope(buf, key: str, program: Program) -> Trace:
         raise _CorruptEnvelope("data-region checksum mismatch")
     blocks = header["blocks"]
 
-    def column(name):
-        code = _TYPECODES[name]
-        off, count = blocks[name]
+    def block_view(name, block_map, typecodes):
+        code = typecodes[name]
+        off, count = block_map[name]
         start = data_start + off
         end = start + count * _ITEMSIZE[code]
         if not 0 <= start <= end <= len(view):
             raise _CorruptEnvelope(f"block {name!r} exceeds the envelope")
         return view[start:end].cast(code)
+
+    def column(name):
+        return block_view(name, blocks, _TYPECODES)
 
     n = int(header["n"])
     pcs = column("pcs")
@@ -421,6 +496,25 @@ def _decode_envelope(buf, key: str, program: Program) -> Trace:
                      kf_m_val[kf_m_off[k]:kf_m_off[k + 1]])),
             kf_uops[k], kf_loads[k], kf_stores[k]))
     trace._keyframes = Keyframes(int(header["kf_interval"]), tuple(frames))
+
+    # golden timing sections (schema 4; absent on v3 envelopes, which
+    # therefore read as a timing *miss*, never as corrupt)
+    for config_key, section in (header.get("timings") or {}).items():
+        section_blocks = section["blocks"]
+        tm_issue = block_view("tm_issue", section_blocks, _TIMING_TYPECODES)
+        tm_commit = block_view("tm_commit", section_blocks, _TIMING_TYPECODES)
+        tm_branch = block_view("tm_branch", section_blocks, _TIMING_TYPECODES)
+        tm_l1d = block_view("tm_l1d", section_blocks, _TIMING_TYPECODES)
+        tm_l2 = block_view("tm_l2", section_blocks, _TIMING_TYPECODES)
+        if not (len(tm_issue) == len(tm_commit) == len(tm_branch)
+                == len(tm_l1d) == len(tm_l2) == n):
+            raise _CorruptEnvelope("timing columns disagree with the header")
+        result = {field: int(section["result"][field])
+                  for field in _TIMING_RESULT_FIELDS}
+        trace.timings[str(config_key)] = TimingRecord(
+            result=CoreResult(**result),
+            issue=tm_issue, commit=tm_commit, branch=tm_branch,
+            l1d=tm_l1d, l2=tm_l2)
     return trace
 
 
@@ -445,6 +539,8 @@ class TraceStore:
         #: None from :meth:`get`, so the caller re-executes + overwrites)
         self.corrupt = 0
         self.writes = 0
+        #: timing sections published into existing envelopes
+        self.timing_writes = 0
         #: crash-stranded temp files removed at init
         self.stale_temps_swept = sweep_stale_temps(self.root)
         self._corrupt_logged: set[str] = set()
@@ -452,7 +548,7 @@ class TraceStore:
     def key(self, benchmark: str, scale: str, program: Program) -> str:
         """The store key of one benchmark's golden trace."""
         description = {
-            "schema": TRACE_STORE_SCHEMA,
+            "schema": KEY_SCHEMA,
             "benchmark": benchmark,
             "scale": scale,
             "program": program_fingerprint(program),
@@ -506,15 +602,34 @@ class TraceStore:
             self._note_corrupt(path, str(error))
             return None
         self.hits += 1
+        trace.store_ref = (self, key)
         return trace
 
-    def put(self, key: str, trace: Trace) -> None:
+    def _write(self, key: str, envelope: bytes) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = _encode_envelope(key, trace)
         # concurrent same-key writers (two workers racing on a cold
         # store) must not trample each other's temp files
         tmp = path.with_suffix(f".tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
         tmp.write_bytes(envelope)
         os.replace(tmp, path)
+
+    def put(self, key: str, trace: Trace) -> None:
+        self._write(key, _encode_envelope(key, trace, trace.timings))
         self.writes += 1
+        trace.store_ref = (self, key)
+
+    def put_timing(self, key: str, trace: Trace, config_key: str,
+                   record) -> None:
+        """Publish one golden timing record into ``key``'s envelope.
+
+        Re-encodes the whole envelope with every timing record the trace
+        carries (including ``record``) and replaces the file atomically.
+        Two workers racing on different configurations last-write-win —
+        the loser's section is simply re-derived and re-published by the
+        next campaign that needs it, exactly like a cold store.
+        """
+        merged = dict(trace.timings)
+        merged[config_key] = record
+        self._write(key, _encode_envelope(key, trace, merged))
+        self.timing_writes += 1

@@ -1,7 +1,11 @@
 """Tests for the functional-unit latency table."""
 
+from repro.common.config import default_config
 from repro.core.latencies import NON_PIPELINED, execute_latency
+from repro.core.ooo_core import OoOCore
+from repro.isa.executor import execute_program
 from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
 
 
 def test_simple_ops_single_cycle():
@@ -26,3 +30,44 @@ def test_non_pipelined_are_dividers():
 def test_every_opcode_has_a_latency():
     for op in Opcode:
         assert execute_latency(op) >= 1
+
+
+class TestLatencyThroughCoreResult:
+    """The table is an implementation detail; what the repo actually
+    promises is the *timed* effect. Pin it through CoreResult: two loops
+    identical except for one opcode must differ in cycles by (at least)
+    the per-iteration latency gap times the trip count."""
+
+    @staticmethod
+    def _chain_loop(op, iterations=200, depth=6):
+        b = ProgramBuilder("lat")
+        b.emit(Opcode.MOVI, rd=30, imm=0)
+        b.emit(Opcode.MOVI, rd=31, imm=iterations)
+        b.emit(Opcode.MOVI, rd=1, imm=3)
+        b.label("loop")
+        for _ in range(depth):
+            b.emit(op, rd=1, rs1=1, rs2=1)
+        b.emit(Opcode.ADDI, rd=30, rs1=30, imm=1)
+        b.emit(Opcode.BLT, rs1=30, rs2=31, target="loop")
+        b.emit(Opcode.HALT)
+        return b.build()
+
+    def _cycles(self, op, iterations=200, depth=6):
+        trace = execute_program(self._chain_loop(op, iterations, depth))
+        return OoOCore(default_config()).run(trace).cycles
+
+    def test_mul_chain_pays_latency_gap(self):
+        # marginal cost of 100 extra iterations cancels warm-up and the
+        # loop epilogue: in steady state each iteration costs exactly
+        # depth * execute_latency(op) on a dependent chain
+        depth, extra = 6, 100
+        for op in (Opcode.ADD, Opcode.MUL):
+            marginal = (self._cycles(op, 200, depth)
+                        - self._cycles(op, 100, depth))
+            assert marginal == depth * execute_latency(op) * extra
+
+    def test_non_pipelined_div_serialises(self):
+        # a dependent DIV chain must cost at least latency * chain length
+        iterations, depth = 50, 4
+        div = self._cycles(Opcode.DIV, iterations, depth)
+        assert div >= execute_latency(Opcode.DIV) * depth * iterations

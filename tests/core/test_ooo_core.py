@@ -181,3 +181,84 @@ class TestResultFields:
         assert result.uops >= result.instructions
         assert result.cycles > 0
         assert 0 < result.ipc <= 3.0
+
+
+class TestResumableRun:
+    """``run()`` must equal the decomposed start_state/run_rows/finish_run
+    sequence, and a fork mid-run must continue to the same CoreResult —
+    everything asserted through CoreResult, never core internals."""
+
+    def test_decomposed_run_equals_run(self, rmw_trace, config):
+        whole = OoOCore(config).run(rmw_trace)
+        core = OoOCore(config)
+        state = core.start_state()
+        core.run_rows(rmw_trace, None, state, len(rmw_trace))
+        assert core.finish_run(rmw_trace, None, state) == whole
+
+    def test_segmented_run_rows_equals_run(self, rmw_trace, config):
+        whole = OoOCore(config).run(rmw_trace)
+        core = OoOCore(config)
+        state = core.start_state()
+        n = len(rmw_trace)
+        for stop in (n // 3, 2 * n // 3, n):
+            core.run_rows(rmw_trace, None, state, stop)
+        assert core.finish_run(rmw_trace, None, state) == whole
+
+    def test_fork_continues_identically(self, rmw_trace, config):
+        whole = OoOCore(config).run(rmw_trace)
+        core = OoOCore(config)
+        state = core.start_state()
+        core.run_rows(rmw_trace, None, state, len(rmw_trace) // 2)
+        fcore, fstate, fhook = core.fork(state, None)
+        # the original continues; so does the fork — same result twice
+        core.run_rows(rmw_trace, None, state, len(rmw_trace))
+        original = core.finish_run(rmw_trace, None, state)
+        fcore.run_rows(rmw_trace, fhook, fstate, len(rmw_trace))
+        forked = fcore.finish_run(rmw_trace, fhook, fstate)
+        assert original == whole
+        assert forked == whole
+
+    def test_recording_columns_consistent(self, rmw_trace, config):
+        from repro.core.timing import TimingColumns
+
+        record = TimingColumns()
+        core = OoOCore(config)
+        state = core.start_state()
+        core.run_rows(rmw_trace, None, state, len(rmw_trace), record=record)
+        result = core.finish_run(rmw_trace, None, state)
+        n = len(rmw_trace)
+        assert len(record.issue) == len(record.commit) == n
+        assert len(record.branch) == len(record.l1d) == len(record.l2) == n
+        # commits are program-ordered and the last one closes the run
+        assert all(a <= b for a, b in
+                   zip(record.commit, record.commit[1:]))
+        assert record.commit[-1] == result.cycles - 1
+        # per-row deltas reconcile with the aggregate counters
+        assert sum(record.l1d) == result.l1d_misses
+        assert sum(record.l2) == result.l2_misses
+        assert sum(1 for b in record.branch if b >= 0) == \
+            result.branch_lookups
+        assert sum(1 for b in record.branch if b == 1) == \
+            result.branch_mispredicts
+
+
+class TestKnownTracePin:
+    """Regression pin: the full CoreResult of one known suite trace.
+
+    Any change to the timing model's physics shows up here first;
+    an intended change updates these constants deliberately."""
+
+    def test_stream_small_cycle_counts(self):
+        from repro.workloads.suite import benchmark_trace
+
+        result = OoOCore(default_config()).run(
+            benchmark_trace("stream", "small"))
+        assert result.cycles == 14208
+        assert result.instructions == 4972
+        assert result.uops == 4972
+        assert result.system_cycles == 14208
+        assert result.branch_lookups == 600
+        assert result.branch_mispredicts == 19
+        assert result.l1d_misses == 450
+        assert result.l2_misses == 14
+        assert result.commit_stall_cycles == 0

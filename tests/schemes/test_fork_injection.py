@@ -238,6 +238,11 @@ class TestDetectionReportIdentity:
              b.all_checks_done_tick)
 
     def test_fast_path_actually_engages(self, monkeypatch):
+        # splice off: this test pins the full re-timing path, where every
+        # pre-fork segment must be checked columnar (with the splice on, a
+        # warm cursor already checked them during its one golden walk)
+        from repro.core.timing import TIMING_SPLICE_ENV
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "0")
         golden = benchmark_trace("bitcount", "small")
         fault = TransientFault(FaultSite.RESULT, seq=len(golden) - 90, bit=7)
         hits = []

@@ -1,0 +1,317 @@
+"""Timing-identity pins for the pre-fork timing splice and interval mode.
+
+The timing splice is a pure optimisation: a detection-scheme fault job
+that splices the golden prefix's timing and re-times only the post-fork
+suffix must produce records byte-identical to re-timing the whole
+faulty trace — cycles, delay statistics, and coverage verdicts alike —
+over the serial and manifest-worker paths, mirroring the fork/full
+execution identity pins of ``test_fork_injection``.
+
+Interval mode is *not* an identity: it is a calibrated estimator.  Its
+contract is weaker and pinned here too: functional verdicts match the
+cycle model exactly, and detection-latency *orderings* agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import default_config
+from repro.common.records import canonical_json
+from repro.core.timing import (
+    TIMING_MODE_ENV,
+    TIMING_SPLICE_ENV,
+    resolve_timing_mode,
+    timing_splice_enabled,
+)
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.detection.system import _TimingSpliceCursor, run_with_detection
+from repro.harness.campaign import JobSpec, execute_job, fault_grid
+from repro.harness.manifest import CampaignManifest
+from repro.harness.orchestrator import CampaignWorker, collect
+from repro.isa.executor import execute_forked
+from repro.schemes import get_scheme, scheme_names
+from repro.schemes.base import FORK_INJECTION_ENV
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    benchmark_trace,
+    configure_trace_store,
+)
+
+SUITE = tuple(BENCHMARK_ORDER)
+
+
+@pytest.fixture()
+def splice_modes(monkeypatch):
+    """runner(fn) -> (unspliced, spliced): ``fn`` once per splice mode,
+    both on the fork path (the splice needs fork metadata to engage)."""
+    def runner(fn):
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "0")
+        unspliced = fn()
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "1")
+        spliced = fn()
+        return unspliced, spliced
+    return runner
+
+
+def late_spec(scheme: str, benchmark: str, offset: int = 120,
+              site=FaultSite.RESULT, timing: str = "cycle") -> JobSpec:
+    clean_len = len(benchmark_trace(benchmark, "small"))
+    fault = TransientFault(site, seq=clean_len - offset, bit=4)
+    return JobSpec("fault", benchmark, "small", fault=fault, scheme=scheme,
+                   timing=timing)
+
+
+class TestEnvironmentSwitches:
+    def test_splice_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(TIMING_SPLICE_ENV, raising=False)
+        assert timing_splice_enabled()
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "0")
+        assert not timing_splice_enabled()
+
+    def test_mode_env_overrides_job_mode(self, monkeypatch):
+        """REPRO_TIMING_MODE wins over the spec's timing field, exactly
+        as REPRO_FORK_INJECTION=0 vetoes fork-capable schemes: one env
+        setting forces a whole campaign onto the cycle model."""
+        monkeypatch.delenv(TIMING_MODE_ENV, raising=False)
+        assert resolve_timing_mode() == "cycle"
+        monkeypatch.setenv(TIMING_MODE_ENV, "interval")
+        assert resolve_timing_mode() == "interval"
+
+    def test_every_scheme_declares_splice_support(self):
+        for name in scheme_names():
+            caps = get_scheme(name).capabilities()
+            assert "supports_timing_splice" in caps
+        # only the detection scheme re-times faulty traces; the others
+        # classify from activations and the splice is vacuous for them
+        assert get_scheme("detection").supports_timing_splice
+        assert not get_scheme("lockstep").supports_timing_splice
+        assert not get_scheme("rmt").supports_timing_splice
+
+
+class TestSpliceRecordIdentity:
+    """Spliced timing is byte-unobservable in every campaign record."""
+
+    @pytest.mark.parametrize("workload", SUITE)
+    def test_detection_fault_job_byte_identical(self, workload,
+                                                splice_modes):
+        spec = late_spec("detection", workload)
+        unspliced, spliced = splice_modes(lambda: execute_job(spec))
+        assert canonical_json(unspliced) == canonical_json(spliced)
+
+    @pytest.mark.parametrize("workload", SUITE)
+    def test_spliced_equals_full_reexecution(self, workload, monkeypatch):
+        """The strongest identity: splice on + fork on versus the
+        original full path (no fork, no splice, whole-trace timing)."""
+        spec = late_spec("detection", workload)
+        monkeypatch.setenv(FORK_INJECTION_ENV, "0")
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "0")
+        full = execute_job(spec)
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "1")
+        spliced = execute_job(spec)
+        assert canonical_json(full) == canonical_json(spliced)
+
+    @pytest.mark.parametrize("site", [FaultSite.BRANCH, FaultSite.LOAD_ADDR,
+                                      FaultSite.STORE_VALUE])
+    def test_other_sites_byte_identical(self, site, splice_modes):
+        spec = late_spec("detection", "stream", site=site)
+        unspliced, spliced = splice_modes(lambda: execute_job(spec))
+        assert canonical_json(unspliced) == canonical_json(spliced)
+
+    @pytest.mark.parametrize("scheme", ["lockstep", "rmt"])
+    def test_non_timing_schemes_unaffected(self, scheme, splice_modes):
+        """Lockstep/RMT never time a faulty trace: the splice switch
+        must be vacuously unobservable for them."""
+        spec = late_spec(scheme, "bitcount")
+        unspliced, spliced = splice_modes(lambda: execute_job(spec))
+        assert canonical_json(unspliced) == canonical_json(spliced)
+
+    def test_batch_job_byte_identical(self, splice_modes):
+        clean_len = len(benchmark_trace("stream", "small"))
+        faults = tuple(
+            TransientFault(site, seq=clean_len - off, bit=3)
+            for site, off in [(FaultSite.RESULT, 40),
+                              (FaultSite.BRANCH, 500),
+                              (FaultSite.STORE_ADDR, 90)])
+        spec = JobSpec("fault-batch", "stream", "small", faults=faults,
+                       scheme="detection")
+        unspliced, spliced = splice_modes(lambda: execute_job(spec))
+        assert canonical_json(unspliced) == canonical_json(spliced)
+
+    def test_manifest_worker_path_byte_identical(self, tmp_path,
+                                                 monkeypatch):
+        """Same grid through lease-driven manifest workers, one manifest
+        per splice mode: merged records must match byte for byte."""
+        specs = [late_spec("detection", name, offset=off)
+                 for name in ("stream", "bitcount") for off in (60, 400)]
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        merged = {}
+        try:
+            for mode in ("0", "1"):
+                monkeypatch.setenv(TIMING_SPLICE_ENV, mode)
+                manifest = CampaignManifest.create(tmp_path / f"m{mode}",
+                                                   specs)
+                stats = CampaignWorker(manifest,
+                                       worker_id=f"w{mode}").run()
+                assert stats.failed == 0
+                merged[mode] = collect(manifest).records_json()
+        finally:
+            configure_trace_store(None)
+        assert merged["0"] == merged["1"]
+
+
+class TestSpliceReportIdentity:
+    """Beyond records: the raw detection report is identical too."""
+
+    def _run(self, faulty, golden):
+        return run_with_detection(faulty, default_config(), golden=golden)
+
+    def test_full_report_identical(self, splice_modes):
+        golden = benchmark_trace("bitcount", "small")
+        fault = TransientFault(FaultSite.RESULT, seq=len(golden) - 90, bit=7)
+        faulty = execute_forked(golden, FaultInjector([fault]))
+        unspliced, spliced = splice_modes(lambda: self._run(faulty, golden))
+        assert unspliced.main_cycles == spliced.main_cycles
+        assert unspliced.system_cycles == spliced.system_cycles
+        a, b = unspliced.report, spliced.report
+        assert a.delays_ns.values == b.delays_ns.values
+        assert a.events == b.events
+        assert (a.segments_checked, a.entries_checked, a.checkpoints_taken,
+                a.closes_by_reason, a.checker_busy_ticks,
+                a.log_full_stall_cycles, a.checkpoint_stall_cycles,
+                a.all_checks_done_tick) == \
+            (b.segments_checked, b.entries_checked, b.checkpoints_taken,
+             b.closes_by_reason, b.checker_busy_ticks,
+             b.log_full_stall_cycles, b.checkpoint_stall_cycles,
+             b.all_checks_done_tick)
+
+    def test_splice_actually_engages(self, monkeypatch):
+        golden = benchmark_trace("stream", "small")
+        fault = TransientFault(FaultSite.RESULT, seq=len(golden) - 50, bit=2)
+        faulty = execute_forked(golden, FaultInjector([fault]))
+        hits = []
+        original = _TimingSpliceCursor.bundle
+
+        def spy(self, fork_seq):
+            hits.append(fork_seq)
+            return original(self, fork_seq)
+
+        monkeypatch.setattr(_TimingSpliceCursor, "bundle", spy)
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "1")
+        self._run(faulty, golden)
+        assert hits == [faulty.fork_seq]
+
+    def test_splice_veto_bypasses_cursor(self, monkeypatch):
+        golden = benchmark_trace("stream", "small")
+        fault = TransientFault(FaultSite.RESULT, seq=len(golden) - 50, bit=2)
+        faulty = execute_forked(golden, FaultInjector([fault]))
+
+        def bomb(self, fork_seq):
+            raise AssertionError("splice cursor used despite veto")
+
+        monkeypatch.setattr(_TimingSpliceCursor, "bundle", bomb)
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "0")
+        self._run(faulty, golden)
+
+    def test_side_channel_faults_disable_splice(self, monkeypatch):
+        """Checkpoint/checker faults perturb the hook itself, so those
+        runs must stay on the full timing path (and still detect)."""
+        golden = benchmark_trace("bitcount", "small")
+        fault = TransientFault(FaultSite.CHECKPOINT, seq=2, reg="x3", bit=5)
+
+        def bomb(self, fork_seq):
+            raise AssertionError("splice despite checkpoint fault")
+
+        monkeypatch.setattr(_TimingSpliceCursor, "bundle", bomb)
+        monkeypatch.setenv(TIMING_SPLICE_ENV, "1")
+        forked = execute_forked(golden, FaultInjector([fault]))
+        result = run_with_detection(forked, default_config(),
+                                    checkpoint_faults=[fault],
+                                    golden=golden)
+        assert result.report.detected
+
+
+class TestIntervalMode:
+    """The interval estimator's contract: exact functional verdicts,
+    concordant detection-latency orderings."""
+
+    @staticmethod
+    def records_for(benchmark: str, timing: str) -> list[dict]:
+        grid = fault_grid([benchmark], trials=6, seed=7, timing=timing)
+        return [execute_job(spec) for spec in grid.jobs]
+
+    @pytest.mark.parametrize("workload", SUITE)
+    def test_verdicts_match_cycle_model(self, workload, monkeypatch):
+        monkeypatch.delenv(TIMING_MODE_ENV, raising=False)
+        cycle = self.records_for(workload, "cycle")
+        interval = self.records_for(workload, "interval")
+        assert [r["outcome"] for r in cycle] == \
+            [r["outcome"] for r in interval]
+        assert [r["activated"] for r in cycle] == \
+            [r["activated"] for r in interval]
+        assert [(r["site"], r["seq"], r["bit"]) for r in cycle] == \
+            [(r["site"], r["seq"], r["bit"]) for r in interval]
+
+    @pytest.mark.parametrize("workload", SUITE)
+    def test_latency_orderings_concordant(self, workload, monkeypatch):
+        """For every pair of detected faults whose cycle-model latencies
+        clearly differ (>10%), the interval model must order them the
+        same way."""
+        monkeypatch.delenv(TIMING_MODE_ENV, raising=False)
+        cycle = self.records_for(workload, "cycle")
+        interval = self.records_for(workload, "interval")
+        pairs = [(c["detect_latency_us"], i["detect_latency_us"])
+                 for c, i in zip(cycle, interval)
+                 if c["outcome"] == "detected"]
+        assert all(i is not None for _, i in pairs)
+        discordant = [
+            (a, b)
+            for idx, (ac, ai) in enumerate(pairs)
+            for (bc, bi) in pairs[idx + 1:]
+            for a, b in [((ac, ai), (bc, bi))]
+            if abs(ac - bc) > 0.10 * max(ac, bc) and (ac < bc) != (ai < bi)
+        ]
+        assert discordant == []
+
+    def test_env_forces_cycle_model(self, monkeypatch):
+        """REPRO_TIMING_MODE=cycle makes an interval-mode job produce
+        the cycle model's exact record, mirroring REPRO_FORK_INJECTION=0
+        — the cache key still carries the requested mode, the physics
+        obeys the environment."""
+        cycle_spec = late_spec("detection", "stream", timing="cycle")
+        interval_spec = late_spec("detection", "stream", timing="interval")
+        assert cycle_spec.key() != interval_spec.key()
+        monkeypatch.delenv(TIMING_MODE_ENV, raising=False)
+        reference = execute_job(cycle_spec)
+        monkeypatch.setenv(TIMING_MODE_ENV, "cycle")
+        forced = execute_job(interval_spec)
+        assert canonical_json(forced) == canonical_json(reference)
+
+    def test_interval_identical_across_fork_modes(self, monkeypatch):
+        """Interval estimates anchor on the clean golden timing curve,
+        so the verdict cannot depend on which execution path produced
+        the faulty trace."""
+        spec = late_spec("detection", "bitcount", timing="interval")
+        monkeypatch.setenv(FORK_INJECTION_ENV, "0")
+        full = execute_job(spec)
+        monkeypatch.setenv(FORK_INJECTION_ENV, "1")
+        forked = execute_job(spec)
+        assert canonical_json(full) == canonical_json(forked)
+
+    def test_activation_only_schemes_mode_invariant(self, monkeypatch):
+        monkeypatch.delenv(TIMING_MODE_ENV, raising=False)
+        for timing in ("cycle", "interval"):
+            spec = late_spec("lockstep", "stream", timing=timing)
+            record = execute_job(spec)
+            assert record["outcome"] in ("detected", "masked",
+                                         "not_activated", "escaped")
+        cycle = execute_job(late_spec("lockstep", "stream", timing="cycle"))
+        interval = execute_job(
+            late_spec("lockstep", "stream", timing="interval"))
+        assert canonical_json(cycle) == canonical_json(interval)
+
+    def test_unknown_timing_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing mode"):
+            JobSpec("fault", "stream", timing="approximate")

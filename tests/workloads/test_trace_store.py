@@ -41,14 +41,19 @@ def isolated_store():
     suite._TRACE_CACHE.clear()
 
 
-def patch_header(path, **changes):
-    """Rewrite a binary envelope with a modified header (block offsets
+def read_header(path):
+    """The decoded JSON header of a binary envelope."""
+    buf = path.read_bytes()
+    (header_len,) = struct.unpack_from("<I", buf, 4)
+    return json.loads(buf[8:8 + header_len])
+
+
+def replace_header(path, header):
+    """Rewrite a binary envelope with ``header`` verbatim (block offsets
     are relative to the header's end, so resizing it is safe)."""
     buf = path.read_bytes()
     (header_len,) = struct.unpack_from("<I", buf, 4)
-    header = json.loads(buf[8:8 + header_len])
     data_start = (8 + header_len + 7) & ~7
-    header.update(changes)
     header_bytes = json.dumps(header).encode()
     new_start = (8 + len(header_bytes) + 7) & ~7
     out = bytearray(new_start + len(buf) - data_start)
@@ -57,6 +62,13 @@ def patch_header(path, **changes):
     out[8:8 + len(header_bytes)] = header_bytes
     out[new_start:] = buf[data_start:]
     path.write_bytes(bytes(out))
+
+
+def patch_header(path, **changes):
+    """Rewrite a binary envelope with a modified header."""
+    header = read_header(path)
+    header.update(changes)
+    replace_header(path, header)
 
 
 class TestFingerprint:
@@ -292,6 +304,154 @@ class TestIntegerWidths:
         bad.dsts[0] = ((False, 1, -1),)  # bypasses commit masking
         with pytest.raises(OverflowError):
             store.put(key, bad)
+
+
+class TestTimingSections:
+    """Schema-4 envelopes carry golden per-configuration timing columns
+    alongside the trace: bit-exact over mmap round trips, readable-but-
+    timing-missing on v3 envelopes, corrupt on in-block rot."""
+
+    @staticmethod
+    def stored(tmp_path, benchmark="stream"):
+        from repro.common.config import default_config
+        from repro.core.timing import config_key, timing_record
+
+        store = TraceStore(tmp_path)
+        program = build_benchmark(benchmark, "small")
+        trace = execute_program(program)
+        key = store.key(benchmark, "small", program)
+        store.put(key, trace)
+        config = default_config()
+        record = timing_record(trace, config)
+        return store, program, trace, key, config_key(config), record
+
+    def test_timing_round_trip_bit_exact(self, tmp_path):
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        assert store.timing_writes == 1
+        loaded = store.get(key, program)
+        assert ck in loaded.timings
+        got = loaded.timings[ck]
+        assert list(got.issue) == list(record.issue)
+        assert list(got.commit) == list(record.commit)
+        assert list(got.branch) == list(record.branch)
+        assert list(got.l1d) == list(record.l1d)
+        assert list(got.l2) == list(record.l2)
+        assert got.result == record.result
+        assert len(got.commit) == len(loaded)
+
+    def test_warm_store_serves_timing_without_rerun(self, tmp_path,
+                                                    monkeypatch):
+        """A fresh worker reading a warm envelope must serve cached
+        timing instead of re-running the OoO model."""
+        from repro.common.config import default_config
+        from repro.core.ooo_core import OoOCore
+        from repro.core.timing import time_bare
+
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        fresh = TraceStore(tmp_path)
+        loaded = fresh.get(key, program)
+
+        def tripwire(self, *args, **kwargs):
+            raise AssertionError("golden timing was re-derived")
+
+        monkeypatch.setattr(OoOCore, "run", tripwire)
+        monkeypatch.setattr(OoOCore, "run_rows", tripwire)
+        served = time_bare(loaded, default_config())
+        assert served == record.result
+
+    def test_time_bare_warm_equals_cold(self, tmp_path):
+        from repro.common.config import default_config
+        from repro.core.timing import time_bare
+
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        cold = time_bare(execute_program(program), default_config())
+        warm = time_bare(TraceStore(tmp_path).get(key, program),
+                         default_config())
+        assert cold == warm == record.result
+
+    def test_v3_envelope_reads_as_timing_miss_not_corrupt(self, tmp_path):
+        """Pre-timing envelopes stay readable (keys are shared across
+        schemas 3 and 4): the trace loads fine, timing is simply cold."""
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        header = read_header(store._path(key))
+        assert header["schema"] == TRACE_STORE_SCHEMA == 4
+        header.pop("timings")
+        header["schema"] = 3
+        replace_header(store._path(key), header)
+        reopened = TraceStore(tmp_path)
+        loaded = reopened.get(key, program)
+        assert loaded is not None
+        assert loaded.timings == {}
+        assert reopened.corrupt == 0
+
+    def test_bit_flip_in_timing_block_reads_as_corrupt(self, tmp_path):
+        """Timing blocks live inside the CRC-covered data region: a
+        flipped bit there must refuse the whole envelope, never serve
+        silently wrong golden timing."""
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        path = store._path(key)
+        buf = bytearray(path.read_bytes())
+        (header_len,) = struct.unpack_from("<I", buf, 4)
+        header = json.loads(bytes(buf[8:8 + header_len]))
+        data_start = (8 + header_len + 7) & ~7
+        offset, count = header["timings"][ck]["blocks"]["tm_commit"]
+        buf[data_start + offset + (count // 2) * 8] ^= 0x10
+        path.write_bytes(bytes(buf))
+        reopened = TraceStore(tmp_path)
+        assert reopened.get(key, program) is None
+        assert reopened.corrupt == 1
+        assert reopened.misses == 0
+
+    def test_timing_block_length_mismatch_reads_as_corrupt(self, tmp_path):
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        header = read_header(store._path(key))
+        header["timings"][ck]["blocks"]["tm_issue"][1] -= 1
+        replace_header(store._path(key), header)
+        reopened = TraceStore(tmp_path)
+        assert reopened.get(key, program) is None
+        assert reopened.corrupt == 1
+
+    def test_put_timing_preserves_other_sections(self, tmp_path):
+        """Records for a second configuration merge with, not replace,
+        the first configuration's section."""
+        from dataclasses import replace as dc_replace
+
+        from repro.common.config import default_config
+        from repro.core.timing import config_key, timing_record
+
+        store, program, trace, key, ck, record = self.stored(tmp_path)
+        cfg = default_config()
+        other = dc_replace(cfg, main_core=dc_replace(cfg.main_core,
+                                                     rob_entries=48))
+        timing_record(trace, other)
+        assert store.timing_writes == 2
+        loaded = TraceStore(tmp_path).get(key, program)
+        assert set(loaded.timings) == {ck, config_key(other)}
+        assert loaded.timings[ck].result == record.result
+
+    def test_oversized_miss_delta_fails_loudly(self, tmp_path):
+        """Per-row miss deltas are u16 columns: a count that cannot fit
+        must raise at write time, never truncate silently."""
+        from repro.core.timing import TimingRecord
+
+        store = TraceStore(tmp_path)
+        program = build_rmw_loop(iterations=3)
+        trace = execute_program(program)
+        key = store.key("rmw", "small", program)
+        store.put(key, trace)
+        n = len(trace)
+        good = TraceStore(tmp_path).get(key, program)
+        record = TimingRecord(
+            result=None, issue=[0] * n, commit=list(range(n)),
+            branch=[-1] * n, l1d=[0] * n, l2=[0] * n)
+        record.l1d[0] = 1 << 16  # cannot fit a u16 column
+        from repro.core.ooo_core import CoreResult
+        record.result = CoreResult(
+            cycles=n, instructions=n, uops=n, system_cycles=n,
+            branch_lookups=0, branch_mispredicts=0, l1d_misses=0,
+            l2_misses=0, commit_stall_cycles=0)
+        with pytest.raises(OverflowError):
+            store.put_timing(key, good, "cfg", record)
 
 
 class TestStaleTempSweep:
