@@ -9,6 +9,15 @@ campaign job bottoms out in:
   the same committed stream from its load-store-log segments (the paper's
   checker-core path; §IV-B).
 
+Schema 2 measures each path twice — once through the block-compiled fast
+path (:mod:`repro.isa.blocks`) and once with ``REPRO_BLOCK_EXEC=0``
+forcing the per-instruction handlers — and reports both, plus the block
+engine's dynamic coverage (fraction of committed instructions that went
+through generated code) and the mean instructions committed per generated
+call (self-loop fusion makes this exceed the static block length).  The
+block-mode and handler-mode traces are asserted byte-identical before any
+timing, so the numbers can never come from divergent executions.
+
 Emits one machine-readable ``BENCH {...}`` JSON line so the perf
 trajectory has something to hang before/after numbers off, and supports a
 regression gate against a committed baseline file::
@@ -18,32 +27,60 @@ regression gate against a committed baseline file::
     python benchmarks/bench_executor.py \
         --check benchmarks/baselines/bench_executor.json --tolerance 0.30
 
-The gate compares *relative* throughput: it fails (exit 1) when either
-path's mean instructions/second drops more than ``--tolerance`` below the
-baseline.  Raw numbers are machine-dependent; the committed baseline is
-deliberately conservative and the default tolerance wide (30 %), so the
-gate catches structural regressions (an accidentally de-optimised step
-loop), not runner-to-runner jitter.
+The gate compares *relative* throughput: it fails (exit 1) when a gated
+metric drops more than ``--tolerance`` below the baseline.  Raw ips are
+machine-dependent, so the committed baseline is deliberately conservative
+and the default tolerance wide (30 %); the block-vs-handler speedups are
+same-process ratios and therefore much more stable than the raw numbers.
+Independent of the gate, the bench itself exits 1 when block coverage
+falls below :data:`MIN_BLOCK_COVERAGE` on any measured workload.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 import time
 
 from repro.detection.checker import SegmentChecker
 from repro.detection.checkpoint import ArchStateTracker
 from repro.detection.lslog import CloseReason, LogEntry, Segment
+from repro.isa.blocks import BLOCK_EXEC_ENV, STATS
 from repro.isa.executor import LOAD, NONDET, STORE, execute_program
 from repro.workloads.suite import build_benchmark
 
-#: Default measurement workloads: one memory-bound, one compute-bound.
-DEFAULT_WORKLOADS = ("stream", "bitcount")
+#: Default measurement workloads: memory-bound, compute-bound, and
+#: pointer-chasing random access.
+DEFAULT_WORKLOADS = ("stream", "bitcount", "randacc")
 
 #: Instructions per hand-built log segment for the replay benchmark.
 SEGMENT_INSTRUCTIONS = 200
+
+#: Hard floor on per-workload dynamic block coverage (ISSUE 9 acceptance:
+#: >= 80 % of committed instructions through generated code).
+MIN_BLOCK_COVERAGE = 0.80
+
+#: Metrics the regression gate compares against the committed baseline.
+GATE_METRICS = ("mean_execute_ips", "mean_replay_ips",
+                "block_speedup_execute", "block_speedup_replay",
+                "block_coverage")
+
+
+@contextlib.contextmanager
+def block_mode(value: str):
+    """Force the block-exec kill switch to ``value`` ("1" or "0")."""
+    previous = os.environ.get(BLOCK_EXEC_ENV)
+    os.environ[BLOCK_EXEC_ENV] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[BLOCK_EXEC_ENV]
+        else:
+            os.environ[BLOCK_EXEC_ENV] = previous
 
 
 def build_segments(trace) -> list[Segment]:
@@ -82,34 +119,65 @@ def build_segments(trace) -> list[Segment]:
     return segments
 
 
-def bench_workload(name: str, scale: str, repeat: int) -> dict:
-    """Best-of-``repeat`` instructions/second for both paths on ``name``."""
-    program = build_benchmark(name, scale)
-    trace = execute_program(program)   # warm-up + reference trace
-    instructions = len(trace)
-
-    execute_best = 0.0
+def _time_execute(program, instructions: int, repeat: int) -> float:
+    best = 0.0
     for _ in range(repeat):
         t0 = time.perf_counter()
         execute_program(program)
         elapsed = time.perf_counter() - t0
-        execute_best = max(execute_best, instructions / elapsed)
+        best = max(best, instructions / elapsed)
+    return best
 
-    segments = build_segments(trace)
+
+def _time_replay(program, segments, instructions: int, repeat: int,
+                 name: str) -> float:
     checker = SegmentChecker(program)
-    replay_best = 0.0
+    best = 0.0
     for _ in range(repeat):
         t0 = time.perf_counter()
         for segment in segments:
             result = checker.check(segment)
             assert result.ok, (name, result.errors)
         elapsed = time.perf_counter() - t0
-        replay_best = max(replay_best, instructions / elapsed)
+        best = max(best, instructions / elapsed)
+    return best
+
+
+def bench_workload(name: str, scale: str, repeat: int) -> dict:
+    """Best-of-``repeat`` instructions/second for both paths on ``name``,
+    in both block and handler modes, plus block-coverage counters."""
+    program = build_benchmark(name, scale)
+
+    with block_mode("0"):
+        trace = execute_program(program)   # handler-mode reference trace
+    instructions = len(trace)
+    with block_mode("1"):
+        block_trace = execute_program(program)   # warms the block table
+    assert block_trace.to_payload() == trace.to_payload(), (
+        f"{name}: block-mode trace diverges from handler-mode trace")
+
+    segments = build_segments(trace)
+
+    with block_mode("1"):
+        STATS.reset()
+        execute_ips = _time_execute(program, instructions, repeat)
+        coverage = STATS.coverage()
+        mean_commit = STATS.mean_block_len()
+        replay_ips = _time_replay(program, segments, instructions, repeat,
+                                  name)
+    with block_mode("0"):
+        execute_handler_ips = _time_execute(program, instructions, repeat)
+        replay_handler_ips = _time_replay(program, segments, instructions,
+                                          repeat, name)
 
     return {
         "instructions": instructions,
-        "execute_ips": round(execute_best, 1),
-        "replay_ips": round(replay_best, 1),
+        "execute_ips": round(execute_ips, 1),
+        "execute_handler_ips": round(execute_handler_ips, 1),
+        "replay_ips": round(replay_ips, 1),
+        "replay_handler_ips": round(replay_handler_ips, 1),
+        "block_coverage": round(coverage, 4),
+        "mean_block_commit": round(mean_commit, 2),
     }
 
 
@@ -117,16 +185,31 @@ def run(workloads: list[str], scale: str, repeat: int) -> dict:
     results = {name: bench_workload(name, scale, repeat)
                for name in workloads}
     n = len(results)
+
+    def mean(key: str) -> float:
+        return sum(r[key] for r in results.values()) / n
+
+    mean_execute = mean("execute_ips")
+    mean_replay = mean("replay_ips")
+    mean_execute_handler = mean("execute_handler_ips")
+    mean_replay_handler = mean("replay_handler_ips")
     return {
         "bench": "executor",
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
         "repeat": repeat,
         "workloads": results,
-        "mean_execute_ips": round(
-            sum(r["execute_ips"] for r in results.values()) / n, 1),
-        "mean_replay_ips": round(
-            sum(r["replay_ips"] for r in results.values()) / n, 1),
+        "mean_execute_ips": round(mean_execute, 1),
+        "mean_replay_ips": round(mean_replay, 1),
+        "mean_execute_handler_ips": round(mean_execute_handler, 1),
+        "mean_replay_handler_ips": round(mean_replay_handler, 1),
+        "block_speedup_execute": round(mean_execute / mean_execute_handler,
+                                       3),
+        "block_speedup_replay": round(mean_replay / mean_replay_handler, 3),
+        # gate on the *worst* workload: the acceptance bar is per-workload
+        "block_coverage": round(min(r["block_coverage"]
+                                    for r in results.values()), 4),
+        "mean_block_commit": round(mean("mean_block_commit"), 2),
     }
 
 
@@ -141,7 +224,7 @@ def check_against(payload: dict, baseline_path: str, tolerance: float) -> int:
     gate = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(gate)
     return gate.check_metrics(payload, baseline_path, tolerance,
-                              ("mean_execute_ips", "mean_replay_ips"))
+                              GATE_METRICS)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -158,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="compare against a committed baseline JSON and "
                              "exit 1 on regression")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional ips drop vs the baseline")
+                        help="allowed fractional drop vs the baseline")
     args = parser.parse_args(argv)
 
     payload = run(args.workloads.split(","), args.scale, args.repeat)
@@ -167,9 +250,15 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "w") as handle:
             json.dump(payload, handle, sort_keys=True, indent=2)
             handle.write("\n")
+    status = 0
+    if payload["block_coverage"] < MIN_BLOCK_COVERAGE:
+        print(f"bench executor: block coverage {payload['block_coverage']} "
+              f"below the {MIN_BLOCK_COVERAGE} floor", file=sys.stderr)
+        status = 1
     if args.check:
-        return check_against(payload, args.check, args.tolerance)
-    return 0
+        status = max(status, check_against(payload, args.check,
+                                           args.tolerance))
+    return status
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ExecutionError, ReproError
 from repro.detection.lslog import Segment
+from repro.isa.blocks import STATS, block_exec_enabled, block_table
 from repro.isa.executor import LOAD, Machine, NONDET, STORE, Trace, bound_handlers
 
 try:  # the whole-column comparison fast path is an optional acceleration
@@ -292,9 +293,30 @@ class SegmentChecker:
         steps = self._steps
         faults_by_seq = self._faults_by_seq
         steps_out = result.steps
+        # the block-compiled fast path replays whole basic blocks via
+        # their generated bodies (CHECKER-site faults strike individual
+        # replayed writebacks, so they keep the per-instruction loop)
+        cells = build = None
+        tlen = 0
+        if not faults_by_seq and block_exec_enabled():
+            table = block_table(self.program)
+            cells = table.cells
+            build = table.build
+            tlen = len(cells)
         try:
             while executed < instr_budget and not machine.halted:
                 pc = machine.pc
+                if cells is not None and pc < tlen:
+                    block = cells[pc]
+                    if block is None:
+                        block = build(pc)
+                    if block.n <= instr_budget - executed:
+                        block.replay(machine, steps_out)
+                        executed += block.n
+                        global_seq += block.n
+                        STATS.block_instrs += block.n
+                        STATS.block_calls += 1
+                        continue
                 try:
                     fn = steps[pc]
                 except IndexError:
@@ -314,14 +336,19 @@ class SegmentChecker:
                 executed += 1
                 global_seq += 1
         except _LogMismatch as mismatch:
+            # a block raising mid-way has already appended its completed
+            # rows' steps, so the step list is the executed count
+            executed = len(steps_out)
             result.ok = False
             result.errors.append(mismatch.error)
         except ExecutionError as exc:
+            executed = len(steps_out)
             result.ok = False
             result.errors.append(CheckError(
                 ErrorKind.REPLAY_FAULT, segment.index, None,
                 f"replay faulted: {exc}"))
         result.instructions_executed = executed
+        STATS.total_instrs += executed
 
         if result.ok and machine.halted and executed < instr_budget:
             result.ok = False

@@ -957,7 +957,21 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
     ``stop_seq`` ends commitment (without halting or crashing) once
     ``seq`` reaches it — for callers like activation-only fault
     verdicts that provably never read the trace past that point.
+
+    When the block-compiled fast path is enabled (see
+    :mod:`repro.isa.blocks`), whole basic blocks commit through one
+    generated function each; the per-instruction handler path remains
+    for rows inside a fault window, blocks that would cross the commit
+    limit, and trap-capable blocks while an injector is attached.
     """
+    # deferred import: blocks.py generates code *against* this module
+    from repro.isa.blocks import (
+        MAX_BLOCK_LEN,
+        STATS,
+        block_exec_enabled,
+        block_table,
+    )
+
     program = machine.program
     inject = fault_injector is not None
     # last seq the injector can still act on; later rows take the plain
@@ -970,6 +984,14 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
         inject_until = max_instructions if last is None else last
     steps = machine._steps
     uops_table = _uops_by_pc(program)
+    cells = build = runs = None
+    tlen = 0
+    if block_exec_enabled():
+        table = block_table(program)
+        cells = table.cells
+        runs = table.runs
+        build = table.build
+        tlen = len(cells)
 
     pcs_append = pcs.append
     dsts_append = dsts_col.append
@@ -984,6 +1006,11 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
              else min(stop_seq, max_instructions))
     entries = mem_off[-1]
     crashed = False
+    seq0 = seq
+    block_instrs = block_calls = 0
+    # with MAX_BLOCK_LEN of headroom under the limit, any block commits
+    # whole — the tight loop below needs no per-block limit guard
+    safe = limit - MAX_BLOCK_LEN
     while not machine.halted:
         if seq >= limit:
             if seq < max_instructions:
@@ -997,6 +1024,52 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
                 f"{program.name}: exceeded {max_instructions} instructions "
                 f"(infinite loop?)")
         pc = machine.pc
+        if runs is not None and not inject and pc < tlen and seq <= safe:
+            # tight fast loop: no injector and at least MAX_BLOCK_LEN of
+            # headroom, so every compiled block commits whole and the
+            # per-iteration guards reduce to halt/limit/bounds checks;
+            # each run function returns its static (n, uops, loads,
+            # stores) counts, so no per-call attribute walks either
+            _s0 = seq
+            while True:
+                fn = runs[pc]
+                if fn is None:
+                    fn = build(pc).run
+                dn, du, dl, ds = fn(machine, seq, pcs, dsts_col, takens,
+                                    mem_off, mem_kind, mem_addr, mem_value,
+                                    mem_used, safe)
+                seq += dn
+                uops += du
+                loads += dl
+                stores += ds
+                block_calls += 1
+                if machine.halted or seq > safe:
+                    break
+                pc = machine.pc
+                if pc >= tlen:
+                    break
+            block_instrs += seq - _s0
+            entries = mem_off[-1]
+            continue
+        if (cells is not None and pc < tlen
+                and (not inject or seq > inject_until)):
+            block = cells[pc]
+            if block is None:
+                block = build(pc)
+            # a block commits whole: it must fit under the limit, and
+            # with an injector attached (whose trap semantics commit
+            # row by row) it must be provably trap-free
+            if block.n <= limit - seq and (not inject or block.trap_free):
+                block.run(machine, seq, pcs, dsts_col, takens, mem_off,
+                          mem_kind, mem_addr, mem_value, mem_used)
+                seq += block.n
+                uops += block.uops
+                loads += block.loads
+                stores += block.stores
+                entries = mem_off[-1]
+                block_instrs += block.n
+                block_calls += 1
+                continue
         if inject and seq <= inject_until:
             try:
                 dsts, mem, taken = fault_injector.step(machine, seq)
@@ -1041,6 +1114,9 @@ def _commit_loop(machine: Machine, fault_injector, max_instructions: int,
         uops += uops_table[pc]
         seq += 1
 
+    STATS.block_instrs += block_instrs
+    STATS.block_calls += block_calls
+    STATS.total_instrs += seq - seq0
     return uops, loads, stores, crashed
 
 

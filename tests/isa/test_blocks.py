@@ -1,0 +1,222 @@
+"""Block-compiled execution engine: identity, coverage, kill switch.
+
+The contract under test is *byte identity*: with the block-compiled
+fast path enabled (the default), every observable artefact — trace
+payloads, forked faulty traces, checker replay steps and verdicts —
+must equal what the per-instruction handler path produces, across the
+whole workload suite and the hand-built edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.detection.checker import SegmentChecker
+from repro.detection.faults import FaultInjector, FaultSite, TransientFault
+from repro.isa.blocks import (
+    BLOCK_EXEC_ENV,
+    MAX_BLOCK_LEN,
+    STATS,
+    block_exec_enabled,
+    block_table,
+)
+from repro.isa.executor import execute_forked, execute_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+from repro.workloads.suite import BENCHMARK_ORDER, build_benchmark
+
+from tests.conftest import build_rmw_loop
+from tests.detection.test_checker import build_segment
+
+
+@pytest.fixture
+def handler_mode(monkeypatch):
+    """Force the per-instruction path for the duration of a test."""
+    monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+
+
+def both_mode_traces(program, monkeypatch, **kwargs):
+    monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+    block = execute_program(program, **kwargs)
+    monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+    handler = execute_program(program, **kwargs)
+    monkeypatch.delenv(BLOCK_EXEC_ENV)
+    return block, handler
+
+
+class TestKillSwitch:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(BLOCK_EXEC_ENV, raising=False)
+        assert block_exec_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+        assert not block_exec_enabled()
+
+    def test_disabled_run_never_calls_blocks(self, handler_mode):
+        program = build_rmw_loop(iterations=20, name="ks")
+        before = STATS.block_calls
+        execute_program(program)
+        assert STATS.block_calls == before
+
+
+class TestSuiteIdentity:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_trace_payload_identical(self, name, monkeypatch):
+        program = build_benchmark(name, "small")
+        block, handler = both_mode_traces(program, monkeypatch)
+        assert block.to_payload() == handler.to_payload()
+
+    def test_coverage_floor_on_suite(self, monkeypatch):
+        monkeypatch.delenv(BLOCK_EXEC_ENV, raising=False)
+        for name in BENCHMARK_ORDER:
+            program = build_benchmark(name, "small")
+            STATS.reset()
+            execute_program(program)
+            assert STATS.coverage() >= 0.8, (name, STATS.coverage())
+
+
+class TestTableStructure:
+    def test_table_cached_on_program(self):
+        program = build_rmw_loop(iterations=5, name="cache")
+        assert block_table(program) is block_table(program)
+
+    def test_blocks_end_at_terminators(self):
+        b = ProgramBuilder("term")
+        b.emit(Opcode.MOVI, rd=1, imm=1)
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        b.emit(Opcode.J, target=3)
+        b.emit(Opcode.HALT)
+        table = block_table(b.build())
+        block = table.build(0)
+        assert block.n == 3  # movi, addi, j — terminated by the jump
+        assert table.build(3).n == 1
+
+    def test_block_length_capped(self):
+        b = ProgramBuilder("long")
+        for _ in range(MAX_BLOCK_LEN + 40):
+            b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        b.emit(Opcode.HALT)
+        table = block_table(b.build())
+        assert table.build(0).n == MAX_BLOCK_LEN
+
+    def test_overlapping_suffix_block(self):
+        # jumping into the middle of a straight-line run compiles a
+        # suffix block of its own; both commit identically
+        b = ProgramBuilder("mid")
+        b.emit(Opcode.MOVI, rd=1, imm=5)
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=2)
+        b.emit(Opcode.HALT)
+        table = block_table(b.build())
+        whole = table.build(0)
+        suffix = table.build(2)
+        assert whole.n == 4 and suffix.n == 2
+
+
+class TestFaultPathIdentity:
+    def test_injected_run_identical(self, monkeypatch):
+        program = build_rmw_loop(iterations=60, name="inj")
+        fault = [TransientFault(FaultSite.RESULT, seq=150, bit=3)]
+
+        def run():
+            return execute_program(
+                program, fault_injector=FaultInjector(list(fault)))
+
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+        block = run()
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+        handler = run()
+        assert block.to_payload() == handler.to_payload()
+
+    def test_forked_faulty_run_identical(self, monkeypatch):
+        program = build_rmw_loop(iterations=60, name="fork")
+        fault = TransientFault(FaultSite.RESULT, seq=200, bit=7)
+
+        def run():
+            golden = execute_program(program)
+            return execute_forked(golden, FaultInjector([fault]))
+
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+        block = run()
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+        handler = run()
+        assert block.to_payload() == handler.to_payload()
+
+    def test_trap_in_self_loop_identical(self, monkeypatch):
+        # a fused self-loop whose load eventually goes misaligned must
+        # trap exactly like the handler path (non-inject: the error
+        # propagates, no trace is observable)
+        b = ProgramBuilder("looptrap")
+        b.put_word(0x100, 1)
+        b.emit(Opcode.MOVI, rd=1, imm=0x100)
+        b.emit(Opcode.MOVI, rd=2, imm=8)
+        b.label("loop")
+        b.emit(Opcode.LD, rd=3, rs1=1, imm=0)
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=7)   # goes misaligned
+        b.emit(Opcode.ADDI, rd=2, rs1=2, imm=-1)
+        b.emit(Opcode.BNE, rs1=2, rs2=0, target="loop")
+        b.emit(Opcode.HALT)
+        program = b.build()
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+        with pytest.raises(ExecutionError):
+            execute_program(program)
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+        with pytest.raises(ExecutionError):
+            execute_program(program)
+
+
+class TestNondetIdentity:
+    def test_nondet_reads_identical(self, monkeypatch):
+        b = ProgramBuilder("nd")
+        b.emit(Opcode.MOVI, rd=1, imm=0)
+        b.label("loop")
+        b.emit(Opcode.RDRAND, rd=2)
+        b.emit(Opcode.RDCYCLE, rd=3)
+        b.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        b.emit(Opcode.SLTI, rd=4, rs1=1, imm=20)
+        b.emit(Opcode.BNE, rs1=4, rs2=0, target="loop")
+        b.emit(Opcode.HALT)
+        program = b.build()
+        block, handler = both_mode_traces(program, monkeypatch)
+        assert block.to_payload() == handler.to_payload()
+
+
+class TestCheckerIdentity:
+    def _segments(self, trace, step=97):
+        n = len(trace)
+        return [build_segment(trace, s, min(s + step, n))
+                for s in range(0, n, step)]
+
+    def test_replay_steps_identical(self, rmw_program, rmw_trace,
+                                    monkeypatch):
+        for segment in self._segments(rmw_trace):
+            monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+            block = SegmentChecker(rmw_program).check(segment)
+            monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+            handler = SegmentChecker(rmw_program).check(segment)
+            assert block.ok and handler.ok
+            assert block.steps == handler.steps
+            assert (block.instructions_executed
+                    == handler.instructions_executed)
+
+    def test_mismatch_bail_identical(self, rmw_program, rmw_trace,
+                                     monkeypatch):
+        # corrupt one load value mid-segment: the replay must stop at
+        # the same instruction with the same error in both modes
+        from repro.detection.lslog import LogEntry
+        segment = build_segment(rmw_trace, 40, 240)
+        old = segment.entries[11]
+        segment.entries[11] = LogEntry(old.kind, old.addr, old.value ^ 0x8,
+                                       old.commit_tick)
+
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "1")
+        block = SegmentChecker(rmw_program).check(segment)
+        monkeypatch.setenv(BLOCK_EXEC_ENV, "0")
+        handler = SegmentChecker(rmw_program).check(segment)
+        assert not block.ok and not handler.ok
+        assert [e.kind for e in block.errors] == [e.kind
+                                                  for e in handler.errors]
+        assert block.steps == handler.steps
+        assert block.instructions_executed == handler.instructions_executed
