@@ -365,7 +365,8 @@ def cmd_list(args: argparse.Namespace) -> int:
     if getattr(args, "schemes", False):
         from repro.schemes import iter_schemes
         print(f"{'scheme':<13}{'detects':>9}{'hard faults':>13}"
-              f"{'recovery':>10}{'fork':>6}{'splice':>8}  description")
+              f"{'recovery':>10}{'fork':>6}{'splice':>8}{'batch':>7}"
+              f"  description")
         for scheme in iter_schemes():
             caps = scheme.capabilities()
             print(f"{scheme.name:<13}"
@@ -374,6 +375,7 @@ def cmd_list(args: argparse.Namespace) -> int:
                   f"{'yes' if caps['supports_recovery'] else 'no':>10}"
                   f"{'yes' if caps['supports_fork_injection'] else 'no':>6}"
                   f"{'yes' if caps['supports_timing_splice'] else 'no':>8}"
+                  f"{'yes' if caps['supports_fault_batch'] else 'no':>7}"
                   f"  {scheme.description}")
         return 0
     from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS

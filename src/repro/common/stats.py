@@ -92,6 +92,13 @@ class Samples:
     def __len__(self) -> int:
         return len(self._values)
 
+    def snapshot(self) -> "Samples":
+        """Independent copy sharing nothing mutable (fork support)."""
+        clone = Samples.__new__(Samples)
+        clone._values = self._values[:]
+        clone._sorted = self._sorted
+        return clone
+
     @property
     def values(self) -> list[float]:
         return list(self._values)

@@ -43,6 +43,24 @@ class TournamentPredictor:
         self.direction_mispredicts = 0
         self.target_mispredicts = 0
 
+    def snapshot(self) -> "TournamentPredictor":
+        """Independent copy of every predictor structure (fork support);
+        shares the config and the derived ``_global_mask`` scalar."""
+        clone = TournamentPredictor.__new__(TournamentPredictor)
+        clone.config = self.config
+        clone._local_history = self._local_history[:]
+        clone._local_table = self._local_table[:]
+        clone._global_table = self._global_table[:]
+        clone._chooser = self._chooser[:]
+        clone._global_history = self._global_history
+        clone._global_mask = self._global_mask
+        clone._btb = dict(self._btb)
+        clone._ras = self._ras[:]
+        clone.lookups = self.lookups
+        clone.direction_mispredicts = self.direction_mispredicts
+        clone.target_mispredicts = self.target_mispredicts
+        return clone
+
     # -- direction ---------------------------------------------------------
 
     def predict_direction(self, pc: int) -> bool:

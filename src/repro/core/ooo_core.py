@@ -29,12 +29,14 @@ The detection system attaches through :class:`CommitHook`:
 
 The run loop is *resumable*: all mutable run state lives in a
 :class:`CoreRunState` capsule, ``run_rows`` advances it over a half-open
-row range, and :meth:`OoOCore.fork` deep-copies a mid-run (core, state,
-hook) bundle into an isolated continuation.  This is what the timing
-splice (ROADMAP item 2) builds on: time a golden trace once, snapshot at
-keyframe-like boundaries, and re-time only the post-fork suffix of each
-faulty trace — byte-identical to a full re-timing because it *is* the
-same loop, resumed.
+row range, and :meth:`OoOCore.fork` snapshots a mid-run (core, state,
+hook) bundle into an isolated continuation via explicit
+``snapshot()``/``restore()`` methods (flat list/dict copies — no
+recursive deepcopy).  This is what the timing splice (ROADMAP item 2)
+builds on: time a golden trace once, snapshot at keyframe-like
+boundaries, and re-time only the post-fork suffix of each faulty trace —
+byte-identical to a full re-timing because it *is* the same loop,
+resumed.
 """
 
 from __future__ import annotations
@@ -89,6 +91,17 @@ class CommitHook:
         forked continuations need their own copy of it."""
         return ()
 
+    def snapshot(self) -> "CommitHook":
+        """An isolated copy of this hook for a forked continuation.
+
+        The base implementation deep-copies the hook with everything in
+        :meth:`clone_shared` aliased — correct for any hook, slow for big
+        ones.  Stateful hooks on the fork fast path (the detection system)
+        override this with explicit flat copies.
+        """
+        memo = {id(obj): obj for obj in self.clone_shared()}
+        return copy.deepcopy(self, memo)
+
 
 @dataclass
 class CoreResult:
@@ -119,8 +132,8 @@ class CoreRunState:
 
     ``run_rows`` loads these into locals on entry and writes them back on
     exit, so boxing costs nothing on the per-row path.  The capsule holds
-    plain ints/lists/dicts only — ``copy.deepcopy`` (via
-    :meth:`OoOCore.fork`) snapshots it exactly.
+    plain ints/lists/dicts only — :meth:`snapshot` copies it exactly with
+    flat slice/dict copies (via :meth:`OoOCore.fork`).
     """
 
     __slots__ = (
@@ -133,6 +146,41 @@ class CoreRunState:
         "last_commit_cycle", "commit_slots", "commit_floor",
         "stall_cycles_total", "total_uops",
     )
+
+    def restore(self, src: "CoreRunState") -> None:
+        """Overwrite this capsule with an independent copy of ``src``.
+
+        Containers are flat-copied (the capsule holds only ints, flat
+        lists, and int-valued dicts), so no recursion is needed.
+        """
+        self.next_row = src.next_row
+        self.int_ready = src.int_ready[:]
+        self.fp_ready = src.fp_ready[:]
+        self.fu_pools = {fu: pool[:] for fu, pool in src.fu_pools.items()}
+        self.rob_ring = src.rob_ring[:]
+        self.rob_head = src.rob_head
+        self.iq_ring = src.iq_ring[:]
+        self.iq_head = src.iq_head
+        self.lq_ring = src.lq_ring[:]
+        self.lq_head = src.lq_head
+        self.sq_ring = src.sq_ring[:]
+        self.sq_head = src.sq_head
+        self.store_forward = dict(src.store_forward)
+        self.fetch_cycle = src.fetch_cycle
+        self.fetch_slots = src.fetch_slots
+        self.current_fetch_line = src.current_fetch_line
+        self.icache_ready = src.icache_ready
+        self.last_commit_cycle = src.last_commit_cycle
+        self.commit_slots = src.commit_slots
+        self.commit_floor = src.commit_floor
+        self.stall_cycles_total = src.stall_cycles_total
+        self.total_uops = src.total_uops
+
+    def snapshot(self) -> "CoreRunState":
+        """An independent copy of this capsule (fork support)."""
+        clone = CoreRunState()
+        clone.restore(self)
+        return clone
 
 
 class OoOCore:
@@ -187,22 +235,27 @@ class OoOCore:
         return s
 
     def fork(self, state: CoreRunState, hook: CommitHook | None = None):
-        """Deep-copy this mid-run (core, state, hook) into an isolated
+        """Snapshot this mid-run (core, state, hook) into an isolated
         continuation.
 
-        Deep-copying the bundle in one call preserves internal aliasing;
-        configuration objects, the clock, and whatever the hook declares
-        via :meth:`CommitHook.clone_shared` are seeded into the memo so
-        they are shared, not copied (trace columns *must* be shared —
-        mmap-backed memoryviews cannot be deep-copied at all).
+        Every mutable structure — the memory hierarchy, the branch
+        predictor, the run-state capsule, and the hook — is copied via
+        its explicit ``snapshot()`` method (flat list/dict copies, no
+        recursive deepcopy).  Configuration objects, the clock, and the
+        trace columns stay shared: they are immutable for the lifetime of
+        a run (mmap-backed columns could not be deep-copied anyway).
+        The result is byte-identical to the deep-copy this used to do,
+        which the fork-identity tests pin.
         """
-        cfg = self.config
-        shared = [cfg, cfg.main_core, cfg.branch, cfg.memory, cfg.checker,
-                  cfg.detection, self.core, self.clock]
-        if hook is not None:
-            shared.extend(hook.clone_shared())
-        memo = {id(obj): obj for obj in shared}
-        return copy.deepcopy((self, state, hook), memo)
+        core = OoOCore.__new__(OoOCore)
+        core.config = self.config
+        core.core = self.core
+        core.clock = self.clock
+        core.hierarchy = self.hierarchy.snapshot()
+        core.predictor = self.predictor.snapshot()
+        forked_state = state.snapshot() if state is not None else None
+        forked_hook = hook.snapshot() if hook is not None else None
+        return core, forked_state, forked_hook
 
     def run_rows(
         self,

@@ -130,6 +130,10 @@ class SegmentChecker:
         self._trace: Trace | None = None
         self._golden: Trace | None = None
         self._fork_seq = 0
+        # (start_seq, end_seq) -> passing pre-fork CheckResult, shared by
+        # reference across the forks of one timing-splice cursor so a
+        # batch cell compares each golden segment range exactly once
+        self._prefix_memo: dict | None = None
 
     def bind_fork(self, trace: Trace, golden: Trace, fork_seq: int) -> None:
         """Enable the columnar fast path for ``trace``'s pre-fork rows.
@@ -145,6 +149,37 @@ class SegmentChecker:
         self._trace = trace
         self._golden = golden
         self._fork_seq = fork_seq
+
+    def enable_prefix_memo(self) -> None:
+        """Start memoising passing pre-fork columnar results.
+
+        Only the timing-splice cursor turns this on: its forks all check
+        the same golden prefix, segmented at the same boundaries, so the
+        whole-slice comparisons (and the steps list built from the golden
+        columns) are identical across faults in a batch cell.  A cached
+        result is only served when the segment index matches, and any
+        segment that fails the columnar gate still takes the replay path.
+        """
+        if self._prefix_memo is None:
+            self._prefix_memo = {}
+
+    def clone(self) -> "SegmentChecker":
+        """Copy for a forked continuation (fork support).
+
+        The program, handler table, trace bindings, and prefix memo are
+        shared — all either immutable or append-only caches whose entries
+        are valid for every fork of the same golden run.  The fault map is
+        copied (its lists are never mutated after construction).
+        """
+        twin = SegmentChecker.__new__(SegmentChecker)
+        twin.program = self.program
+        twin._steps = self._steps
+        twin._faults_by_seq = dict(self._faults_by_seq)
+        twin._trace = self._trace
+        twin._golden = self._golden
+        twin._fork_seq = self._fork_seq
+        twin._prefix_memo = self._prefix_memo
+        return twin
 
     def _check_columnar(self, segment: Segment) -> CheckResult | None:
         """The pre-fork fast path; None means \"use the replay path\".
@@ -208,8 +243,16 @@ class SegmentChecker:
                 and segment.end_seq <= self._fork_seq
                 and not any(segment.start_seq <= seq < segment.end_seq
                             for seq in self._faults_by_seq)):
+            memo = self._prefix_memo
+            if memo is not None:
+                cached = memo.get((segment.start_seq, segment.end_seq))
+                if (cached is not None
+                        and cached.segment_index == segment.index):
+                    return cached
             result = self._check_columnar(segment)
             if result is not None:
+                if memo is not None:
+                    memo[(segment.start_seq, segment.end_seq)] = result
                 return result
         start = segment.start_checkpoint
         end = segment.end_checkpoint

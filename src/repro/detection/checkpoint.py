@@ -78,6 +78,18 @@ class ArchStateTracker:
         self.fregs = [0.0] * NUM_FP_REGS
         self._next_index = 0
 
+    def clone(self) -> "ArchStateTracker":
+        """Independent copy of the tracked register file (fork support).
+
+        Named ``clone`` because :meth:`snapshot` already means "take a
+        checkpoint" on this class.
+        """
+        twin = ArchStateTracker.__new__(ArchStateTracker)
+        twin.xregs = self.xregs[:]
+        twin.fregs = self.fregs[:]
+        twin._next_index = self._next_index
+        return twin
+
     def apply(self, dyn: DynInstr) -> None:
         """Apply one committed instruction's register writebacks."""
         self.apply_dsts(dyn.dsts)

@@ -113,6 +113,37 @@ class SegmentBuilder:
         self._next_slot = (self._next_slot + 1) % self.num_slots
         return segment
 
+    def snapshot(self) -> "SegmentBuilder":
+        """Independent copy of the builder state (fork support).
+
+        The filling segment is copied field by field with a fresh entries
+        list; checkpoints and :class:`LogEntry` records are frozen and
+        shared.  Closed segments are never reachable from the builder, so
+        nothing else needs copying.
+        """
+        clone = SegmentBuilder.__new__(SegmentBuilder)
+        clone.capacity = self.capacity
+        clone.timeout = self.timeout
+        clone.num_slots = self.num_slots
+        clone._next_index = self._next_index
+        clone._next_slot = self._next_slot
+        current = self.current
+        clone.current = Segment(
+            index=current.index,
+            slot=current.slot,
+            start_checkpoint=current.start_checkpoint,
+            start_seq=current.start_seq,
+            entries=current.entries[:],
+            instr_count=current.instr_count,
+            end_checkpoint=current.end_checkpoint,
+            end_seq=current.end_seq,
+            close_reason=current.close_reason,
+            close_tick=current.close_tick,
+        )
+        clone.segments_closed = self.segments_closed
+        clone.closes_by_reason = dict(self.closes_by_reason)
+        return clone
+
     # -- queries used by the timing layer -----------------------------------
 
     def will_overflow(self, entry_count: int) -> bool:

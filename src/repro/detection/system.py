@@ -26,6 +26,8 @@ hardware comparisons, and the report records when each check completed.
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 from repro.common.config import SystemConfig
@@ -120,6 +122,22 @@ class DetectionReport:
 
     def max_delay_ns(self) -> float:
         return self.delays_ns.max()
+
+    def snapshot(self) -> "DetectionReport":
+        """Independent copy for a forked continuation.  Flat copies only:
+        the :class:`DetectionEvent` records are frozen and shared."""
+        return DetectionReport(
+            delays_ns=self.delays_ns.snapshot(),
+            events=list(self.events),
+            segments_checked=self.segments_checked,
+            entries_checked=self.entries_checked,
+            closes_by_reason=dict(self.closes_by_reason),
+            log_full_stall_cycles=self.log_full_stall_cycles,
+            checkpoint_stall_cycles=self.checkpoint_stall_cycles,
+            checkpoints_taken=self.checkpoints_taken,
+            checker_busy_ticks=list(self.checker_busy_ticks),
+            all_checks_done_tick=self.all_checks_done_tick,
+        )
 
 
 class ParallelErrorDetection(CommitHook):
@@ -232,6 +250,55 @@ class ParallelErrorDetection(CommitHook):
             if column is not None:
                 shared.append(column)
         return tuple(shared)
+
+    def restore(self, src: "ParallelErrorDetection") -> None:
+        """Overwrite this hook with an independent copy of ``src``.
+
+        Immutable structure (config, program, metadata, trace columns,
+        the checker's handler table and bindings) is aliased — exactly
+        the set :meth:`clone_shared` declares; every mutable co-simulated
+        structure is copied via its own flat ``snapshot``/``clone``.
+        """
+        self.config = src.config
+        self.program = src.program
+        self.metas = src.metas
+        self.num_cores = src.num_cores
+        self.main_period = src.main_period
+        self.checker_period = src.checker_period
+        self.ckpt_cycles = src.ckpt_cycles
+        self.ideal = src.ideal
+        self.use_lfu = src.use_lfu
+        self.arch = src.arch.clone()
+        self.lfu = src.lfu.snapshot()
+        self.builder = src.builder.snapshot()
+        self.segment_checker = src.segment_checker.clone()
+        self.icaches = src.icaches.snapshot()
+        # the in-order models are stateless (all timing state lives in
+        # the icaches), so fresh instances over the copied icaches are
+        # exact replacements
+        self.core_models = [
+            InOrderCoreModel(src.config.checker, self.icaches, core_id)
+            for core_id in range(src.num_cores)
+        ]
+        self.slot_free_tick = src.slot_free_tick[:]
+        self._commit_gate_tick = src._commit_gate_tick
+        self._checkpoint_faults = dict(src._checkpoint_faults)
+        self._interrupts = list(src._interrupts)
+        self._next_interrupt = src._next_interrupt
+        self._last_next_pc = src._last_next_pc
+        self.report = src.report.snapshot()
+        for name in ("_pcs", "_dsts", "_mem_off", "_mem_kind", "_mem_addr",
+                     "_mem_value", "_mem_used", "_total", "_final_next_pc"):
+            if hasattr(src, name):
+                setattr(self, name, getattr(src, name))
+
+    def snapshot(self) -> "ParallelErrorDetection":
+        """An isolated copy of this hook for a forked continuation
+        (overrides the base deepcopy fallback with explicit flat copies,
+        pinned byte-identical to it by the fork-identity tests)."""
+        clone = ParallelErrorDetection.__new__(ParallelErrorDetection)
+        clone.restore(self)
+        return clone
 
     def _next_pc_of(self, seq: int) -> int:
         return (self._pcs[seq + 1] if seq + 1 < self._total
@@ -422,28 +489,53 @@ def run_unprotected(trace: Trace, config: SystemConfig) -> CoreResult:
 #: count by ``len(trace) / spacing``.
 SPLICE_SNAPSHOT_MIN_INTERVAL = 1024
 
-#: Timing-splice cursors kept alive per process (each pins its golden
-#: trace and up to ~16 deep state snapshots).
+#: Environment override for the cursor-registry capacity (each resident
+#: cursor pins its golden trace and up to ~16 state snapshots).
+SPLICE_CURSOR_ENV = "REPRO_SPLICE_CURSORS"
+
+#: Default timing-splice cursors kept alive per process when
+#: :data:`SPLICE_CURSOR_ENV` is unset.
 _SPLICE_CURSOR_CAP = 4
+
+#: Planned (exact fork-seq) snapshots retained per cursor beyond the
+#: always-kept interval snapshots; covers default campaign batch sizes
+#: while bounding resident state for pathological cells.
+SPLICE_PLANNED_SNAPSHOT_CAP = 128
+
+
+def splice_cursor_cap() -> int:
+    """The cursor-registry capacity, from the environment or the default."""
+    raw = os.environ.get(SPLICE_CURSOR_ENV)
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            return _SPLICE_CURSOR_CAP
+        if cap >= 1:
+            return cap
+    return _SPLICE_CURSOR_CAP
 
 
 class _TimingSpliceCursor:
     """A resumable timed run of one golden trace under detection.
 
     Walks the golden trace through a fresh :class:`ParallelErrorDetection`
-    hook exactly once, monotonically, deep-snapshotting the full (core,
-    run-state, hook) bundle at fixed row boundaries via
-    :meth:`OoOCore.fork`.  A fault job then clones the snapshot at the
-    last boundary before its fork seq and re-times only the rows from
-    there — byte-identical to a full re-timing because it is the same
-    loop resumed from the same state:
+    hook exactly once, monotonically, snapshotting the full (core,
+    run-state, hook) bundle via :meth:`OoOCore.fork` at interval
+    boundaries — plus, for batch cells, at the exact fork seqs
+    pre-registered through :meth:`plan`.  A fault job then clones the
+    snapshot at the nearest boundary before its fork seq and re-times
+    only the rows from there — byte-identical to a full re-timing
+    because it is the same loop resumed from the same state:
 
     * pre-fork rows of a forked trace are splices of the golden columns,
       so re-timing them from a boundary reproduces the golden timing;
     * the cursor binds the checker's columnar fast path against the
       golden trace itself, which takes exactly the code path (and yields
       exactly the per-segment check results and checker-core timings)
-      that pre-fork segments of a forked run take.
+      that pre-fork segments of a forked run take;
+    * ``run_rows`` chunk boundaries are timing-transparent, so stopping
+      at an extra planned boundary perturbs nothing.
     """
 
     def __init__(self, golden: Trace, config: SystemConfig) -> None:
@@ -457,42 +549,129 @@ class _TimingSpliceCursor:
         # a golden run is its own fork prefix: let every segment take the
         # checker's columnar path, exactly like a forked run's prefix
         self.hook.segment_checker.bind_fork(golden, golden, total + 1)
+        # memoise the passing pre-fork column comparisons; every fork of
+        # this cursor shares the memo by reference
+        self.hook.segment_checker.enable_prefix_memo()
         self.state = self.core.start_state()
+        #: batch-planned exact boundaries not yet consumed, sorted
+        self._planned: list[int] = []
         self._snapshots = {0: self.core.fork(self.state, self.hook)}
 
+    def plan(self, fork_seqs) -> None:
+        """Register a batch cell's fork seqs as exact snapshot boundaries.
+
+        Interval multiples are skipped (snapshotted natively), as are
+        seqs whose snapshot already exists.  Seqs the live run has
+        already passed are planned too: :meth:`bundle` serves them by
+        re-timing the short stretch from the retained snapshot below,
+        so a sorted batch resumes each fault at its own fork seq.
+        """
+        total = len(self.golden)
+        merged = set(self._planned)
+        for seq in fork_seqs:
+            seq = min(seq, total)
+            if seq % self.interval and seq not in self._snapshots:
+                merged.add(seq)
+        self._planned = sorted(merged)
+
     def bundle(self, fork_seq: int):
-        """An isolated (core, state, hook) clone timed to the last
-        snapshot boundary at or before ``fork_seq``, ready to resume."""
+        """An isolated (core, state, hook) clone timed to the nearest
+        snapshot boundary at or before ``fork_seq``, ready to resume.
+        Planned (batch) boundaries are exact; anything else rounds down
+        to the last interval multiple."""
         boundary = min(fork_seq, len(self.golden))
-        boundary -= boundary % self.interval
+        if (boundary not in self._snapshots
+                and boundary not in self._planned):
+            boundary -= boundary % self.interval
         snapshot = self._snapshots.get(boundary)
         if snapshot is None:
-            # advance the live run monotonically, snapshotting every
-            # boundary it crosses (later faults reuse them)
-            while self.state.next_row < boundary:
-                target = min(self.state.next_row + self.interval, boundary)
-                self.core.run_rows(self.golden, self.hook, self.state, target)
-                self._snapshots[target] = self.core.fork(self.state, self.hook)
+            planned = self._planned
+            if boundary < self.state.next_row:
+                # the live run is already past a planned boundary: walk a
+                # detached clone of the nearest retained snapshot up to
+                # it — at most one interval of golden re-timing, shared
+                # by every later fault planned in the same stretch
+                base = max(b for b in self._snapshots if b <= boundary)
+                core, state, hook = self._snapshots[base]
+                core, state, hook = core.fork(state, hook)
+            else:
+                # advance the live run monotonically (the common path)
+                core, state, hook = self.core, self.state, self.hook
+            # either walk snapshots every interval and planned boundary
+            # it crosses, so later faults reuse them
+            while state.next_row < boundary:
+                row = state.next_row
+                target = min(row - row % self.interval + self.interval,
+                             boundary)
+                i = bisect_right(planned, row)
+                if i < len(planned) and planned[i] < target:
+                    target = planned[i]
+                core.run_rows(self.golden, hook, state, target)
+                self._snapshots[target] = core.fork(state, hook)
             snapshot = self._snapshots[boundary]
+        self._retire_planned(boundary)
         core, state, hook = snapshot
         return core.fork(state, hook)
 
+    def _retire_planned(self, boundary: int) -> None:
+        """Bound the planned snapshots retained beyond the cap.
 
-#: (config key → cursor entries) in insertion order, evicted FIFO at
-#: :data:`_SPLICE_CURSOR_CAP`; entries verify golden identity on lookup.
+        Batches drain in fork-seq order, so when the cap bites the
+        lowest already-passed boundaries are the dead ones.  Below the
+        cap nothing is dropped: a repeated cell (same seeds, benchmark
+        repeats) replays entirely from retained snapshots, exactly like
+        the per-job path replays from its interval snapshots."""
+        excess = len(self._planned) - SPLICE_PLANNED_SNAPSHOT_CAP
+        if excess <= 0:
+            return
+        drop = min(excess, bisect_left(self._planned, boundary))
+        if not drop:
+            return
+        for seq in self._planned[:drop]:
+            self._snapshots.pop(seq, None)
+        del self._planned[:drop]
+
+
+#: (config key → cursor entries) in LRU order — lookups move an entry to
+#: the back, insertions evict from the front past :func:`splice_cursor_cap`;
+#: entries verify golden identity on lookup.
 _SPLICE_CURSORS: dict = {}
 
 
-def _splice_cursor(golden: Trace, config: SystemConfig) -> _TimingSpliceCursor:
+def _splice_cursor(golden: Trace,
+                   config: SystemConfig) -> _TimingSpliceCursor:
     key = (id(golden), config_key(config))
     cursor = _SPLICE_CURSORS.get(key)
     if cursor is not None and cursor.golden is golden:
+        # LRU refresh: re-insert at the back
+        _SPLICE_CURSORS.pop(key)
+        _SPLICE_CURSORS[key] = cursor
         return cursor
     cursor = _TimingSpliceCursor(golden, config)
+    _SPLICE_CURSORS.pop(key, None)
     _SPLICE_CURSORS[key] = cursor
-    while len(_SPLICE_CURSORS) > _SPLICE_CURSOR_CAP:
+    cap = splice_cursor_cap()
+    while len(_SPLICE_CURSORS) > cap:
         _SPLICE_CURSORS.pop(next(iter(_SPLICE_CURSORS)))
     return cursor
+
+
+def prime_splice_cursor(golden: Trace, config: SystemConfig,
+                        fork_seqs) -> None:
+    """Pre-register a batch cell's fork seqs on the cell's shared cursor.
+
+    Called by the detection scheme before draining a fault batch, so the
+    cursor snapshots at each fault's exact fork seq while walking the
+    golden prefix once.  Seqs the resident cursor has already passed (a
+    previous cell drove it further) cost at most one short detached
+    re-timing from the retained interval snapshot below — shared across
+    every fault planned in the same stretch.  Byte-identity is
+    unaffected — any snapshot resumes the same loop from the same state.
+    """
+    seqs = sorted(fork_seqs)
+    if not seqs:
+        return
+    _splice_cursor(golden, config).plan(seqs)
 
 
 def _spliced_detection_run(trace: Trace, config: SystemConfig,

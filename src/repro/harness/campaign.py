@@ -89,7 +89,14 @@ from repro.workloads.trace_store import sweep_stale_temps
 #: and detection-scheme fault jobs splice the pre-fork golden timing —
 #: ``cycle`` records stay byte-identical, but interval records are a
 #: genuinely different estimator, so the mode is part of every key.
-CACHE_SCHEMA_VERSION = 6
+#: v7: detection-scheme fault batches schedule one shared timing-splice
+#: cursor per cell (snapshots at the sorted fork seqs, golden prefix
+#: timed once per cell), forks are explicit flat snapshots instead of
+#: deepcopy, and pre-fork segment checks are memoised — all pinned
+#: byte-identical, but ``fault-batch`` is now gated on the scheme's
+#: ``supports_fault_batch`` capability, so the envelope is re-keyed
+#: against the capability-checked pipeline.
+CACHE_SCHEMA_VERSION = 7
 
 #: Subdirectory of a cache root holding the shared golden-trace store
 #: (two-character key prefixes can never collide with it).
@@ -293,6 +300,11 @@ def _fault_batch_record(spec: JobSpec, scheme: ProtectionScheme,
     """
     if not spec.faults:
         raise ValueError("fault-batch job carries an empty fault cell")
+    if not scheme.supports_fault_batch:
+        # grids validate this at build time; manifest-delivered specs are
+        # re-checked here, in whichever worker the job lands in
+        raise ValueError(
+            f"scheme {scheme.name!r} does not support fault-batch jobs")
     clean = benchmark_trace(spec.benchmark, spec.scale)
     verdicts = scheme.inject_batch(clean, spec.config, spec.faults,
                                    interrupt_seqs=spec.interrupt_seqs)
@@ -615,7 +627,9 @@ def fault_batch_grid(benchmarks: Sequence[str],
     if batch_size < 1:
         raise ValueError(f"batch size must be positive, got {batch_size}")
     cfg = config if config is not None else default_config()
-    get_scheme(scheme)
+    if not get_scheme(scheme).supports_fault_batch:
+        raise ValueError(
+            f"scheme {scheme!r} does not support fault-batch jobs")
     jobs = []
     for name in benchmarks:
         clean_len = len(benchmark_trace(name, scale))

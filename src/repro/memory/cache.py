@@ -42,6 +42,22 @@ class CacheModel:
         self.misses = 0
         self.mshr_stalls = 0
 
+    def snapshot(self) -> "CacheModel":
+        """Independent copy of the tag/MSHR state; shares the config and
+        the derived shift/mask scalars (immutable after construction)."""
+        clone = CacheModel.__new__(CacheModel)
+        clone.config = self.config
+        clone._sets = [dict(ways) for ways in self._sets]
+        clone._set_shift = self._set_shift
+        clone._set_mask = self._set_mask
+        clone._line_shift = self._line_shift
+        clone._mshr_ready = self._mshr_ready[:]
+        clone._outstanding = dict(self._outstanding)
+        clone.hits = self.hits
+        clone.misses = self.misses
+        clone.mshr_stalls = self.mshr_stalls
+        return clone
+
     def _line(self, addr: int) -> int:
         return addr >> self._line_shift
 

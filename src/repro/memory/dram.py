@@ -40,6 +40,23 @@ class DRAMModel:
         self.row_misses = 0
         self.row_conflicts = 0
 
+    def snapshot(self) -> "DRAMModel":
+        """Independent copy of the per-bank state; shares the config and
+        the precomputed latency scalars."""
+        clone = DRAMModel.__new__(DRAMModel)
+        clone.config = self.config
+        clone._row_hit = self._row_hit
+        clone._row_miss = self._row_miss
+        clone._row_conflict = self._row_conflict
+        clone._open_rows = self._open_rows[:]
+        clone._bank_free = self._bank_free[:]
+        clone._row_shift = self._row_shift
+        clone._bank_shift = self._bank_shift
+        clone.row_hits = self.row_hits
+        clone.row_misses = self.row_misses
+        clone.row_conflicts = self.row_conflicts
+        return clone
+
     def access(self, addr: int, now: int) -> int:
         """Issue an access at cycle ``now``; returns data-ready cycle."""
         row = addr >> self._row_shift

@@ -34,6 +34,18 @@ class MemoryHierarchy:
         self.dram = DRAMModel(config.dram, clock)
         self.prefetcher = StridePrefetcher() if config.l2_stride_prefetcher else None
 
+    def snapshot(self) -> "MemoryHierarchy":
+        """Independent copy of every timing structure (fork support)."""
+        clone = MemoryHierarchy.__new__(MemoryHierarchy)
+        clone.config = self.config
+        clone.l1i = self.l1i.snapshot()
+        clone.l1d = self.l1d.snapshot()
+        clone.l2 = self.l2.snapshot()
+        clone.dram = self.dram.snapshot()
+        clone.prefetcher = (
+            self.prefetcher.snapshot() if self.prefetcher is not None else None)
+        return clone
+
     def _l2_access(self, addr: int, now: int, pc: int | None) -> int:
         """Access the L2 at ``now``; returns data-ready cycle."""
         hit, when = self.l2.lookup(addr, now)
@@ -99,6 +111,15 @@ class CheckerICaches:
         self.l0 = [CacheModel(config.l0i) for _ in range(config.num_cores)]
         self.shared_l1i = CacheModel(config.shared_l1i)
         self._l2_latency = config.l2_fetch_latency_cycles
+
+    def snapshot(self) -> "CheckerICaches":
+        """Independent copy of the per-core L0s and the shared L1I."""
+        clone = CheckerICaches.__new__(CheckerICaches)
+        clone.config = self.config
+        clone.l0 = [cache.snapshot() for cache in self.l0]
+        clone.shared_l1i = self.shared_l1i.snapshot()
+        clone._l2_latency = self._l2_latency
+        return clone
 
     def access(self, core_id: int, addr: int, now: int) -> int:
         """Fetch ``addr`` on checker ``core_id`` at checker-cycle ``now``."""

@@ -34,6 +34,21 @@ class StridePrefetcher:
         self.degree = degree
         self.issued = 0
 
+    def snapshot(self) -> "StridePrefetcher":
+        """Independent copy of the prediction table (fork support).
+
+        Rebuilds each mutable :class:`_StrideEntry`; the unused ``useful``
+        slot is deliberately left untouched (it is never assigned)."""
+        clone = StridePrefetcher.__new__(StridePrefetcher)
+        clone.entries = {
+            pc: _StrideEntry(entry.last_addr, entry.stride, entry.confidence)
+            for pc, entry in self.entries.items()
+        }
+        clone.table_size = self.table_size
+        clone.degree = self.degree
+        clone.issued = self.issued
+        return clone
+
     def observe(self, pc: int, addr: int) -> list[int]:
         """Record a demand access; returns addresses to prefetch."""
         entry = self.entries.get(pc)

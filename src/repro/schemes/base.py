@@ -154,6 +154,11 @@ class ProtectionScheme(abc.ABC):
     #: activations alone never time a faulty trace, and the splice (and
     #: ``REPRO_TIMING_SPLICE``) is vacuously unobservable for them
     supports_timing_splice: bool = False
+    #: fault cells may run as one ``fault-batch`` job (``inject_batch``
+    #: drains a whole cell against one golden trace); schemes whose
+    #: classification pipeline is batch-safe — verdicts byte-identical
+    #: to per-fault ``inject`` calls in any order — set this True
+    supports_fault_batch: bool = False
     #: ``classify`` reads the faulty trace's architectural outcome
     #: (final state, length, crash flag).  Schemes that classify from
     #: the activation list alone — lockstep and RMT detect any committed
@@ -268,4 +273,5 @@ class ProtectionScheme(abc.ABC):
             "supports_recovery": self.supports_recovery,
             "supports_fork_injection": self.supports_fork_injection,
             "supports_timing_splice": self.supports_timing_splice,
+            "supports_fault_batch": self.supports_fault_batch,
         }

@@ -14,8 +14,18 @@ from repro.analysis.area import area_model
 from repro.analysis.power import energy_overhead_per_run, power_model
 from repro.common.config import SystemConfig
 from repro.common.time import ticks_to_us
-from repro.detection.faults import FaultSite, TransientFault, system_faults
-from repro.detection.system import run_unprotected, run_with_detection
+from repro.core.timing import resolve_timing_mode, timing_splice_enabled
+from repro.detection.faults import (
+    FaultInjector,
+    FaultSite,
+    TransientFault,
+    system_faults,
+)
+from repro.detection.system import (
+    prime_splice_cursor,
+    run_unprotected,
+    run_with_detection,
+)
 from repro.isa.executor import Trace
 from repro.schemes.base import (
     FaultVerdict,
@@ -23,6 +33,7 @@ from repro.schemes.base import (
     SchemeSummary,
     SchemeTiming,
     architecturally_masked,
+    fork_injection_enabled,
 )
 from repro.schemes.registry import register_scheme
 
@@ -37,6 +48,7 @@ class ParallelDetectionScheme(ProtectionScheme):
     supports_recovery = True
     supports_fork_injection = True
     supports_timing_splice = True
+    supports_fault_batch = True
 
     def time(self, trace: Trace, config: SystemConfig) -> SchemeTiming:
         # self-contained on purpose: a scheme-timing job is a pure
@@ -52,6 +64,33 @@ class ParallelDetectionScheme(ProtectionScheme):
             system_cycles=result.system_cycles,
             detection_latency_ns=result.report.mean_delay_ns(),
         )
+
+    def inject_batch(self, trace: Trace, config: SystemConfig,
+                     faults: tuple[TransientFault, ...],
+                     interrupt_seqs: tuple[int, ...] = (),
+                     ) -> list[FaultVerdict]:
+        """Drain a cell with the timing-splice cursor pre-scheduled.
+
+        The base batch path already sorts faults by fork seq; telling the
+        cell's shared cursor those seqs up front lets it snapshot the
+        golden timed prefix at each fault's *exact* boundary during its
+        single monotone walk, so classification resumes each faulty run
+        with zero golden re-timing.  Pure scheduling — every verdict and
+        record stays byte-identical to per-fault injection.
+        """
+        if (self.supports_fork_injection and fork_injection_enabled()
+                and timing_splice_enabled()
+                and resolve_timing_mode() != "interval"
+                and not interrupt_seqs):
+            total = len(trace)
+            seqs = [
+                FaultInjector([fault]).fork_seq(total) for fault in faults
+                if fault.site not in (FaultSite.CHECKPOINT,
+                                      FaultSite.CHECKER)
+            ]
+            if seqs:
+                prime_splice_cursor(trace, config, seqs)
+        return super().inject_batch(trace, config, faults, interrupt_seqs)
 
     def classify(self, clean: Trace, config: SystemConfig,
                  fault: TransientFault, injector, faulty: Trace,
